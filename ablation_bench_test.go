@@ -1,0 +1,178 @@
+// Ablation benchmarks for the design choices documented in DESIGN.md:
+// each compares a mechanism against its switched-off variant and reports the
+// quality delta as benchmark metrics.
+package blasys_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/partition"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// BenchmarkAblationPartitionRefine measures the boundary-net reduction the
+// KL-style refinement buys over plain greedy intervals.
+func BenchmarkAblationPartitionRefine(b *testing.B) {
+	c := logic.ReorderDFS(bench.Mult8().Circ)
+	cost := func(blocks []partition.Block) int {
+		n := 0
+		for _, blk := range blocks {
+			n += len(blk.Inputs) + len(blk.Outputs)
+		}
+		return n
+	}
+	var refined, plain int
+	for i := 0; i < b.N; i++ {
+		r, err := partition.Decompose(c, partition.Options{MaxInputs: 10, MaxOutputs: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := partition.Decompose(c, partition.Options{MaxInputs: 10, MaxOutputs: 10, DisableRefine: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refined, plain = cost(r), cost(p)
+	}
+	b.ReportMetric(float64(refined), "refined-boundary-nets")
+	b.ReportMetric(float64(plain), "plain-boundary-nets")
+}
+
+// BenchmarkAblationBMFRefinement measures the error reduction of the exact
+// per-row refinement over greedy ASSO on random matrices.
+func BenchmarkAblationBMFRefinement(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mats := make([]*tt.Matrix, 16)
+	for i := range mats {
+		m := tt.NewMatrix(256, 8)
+		for r := 0; r < 256; r++ {
+			for c := 0; c < 8; c++ {
+				m.Set(r, c, rng.Intn(2) == 1)
+			}
+		}
+		mats[i] = m
+	}
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with, without = 0, 0
+		for _, m := range mats {
+			rw, err := bmf.Factorize(m, 4, bmf.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ro, err := bmf.Factorize(m, 4, bmf.Options{SkipRefine: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			with += rw.Hamming
+			without += ro.Hamming
+		}
+	}
+	b.ReportMetric(float64(with), "hamming-with-refine")
+	b.ReportMetric(float64(without), "hamming-without-refine")
+}
+
+// BenchmarkAblationBasis compares the column (structural) basis against the
+// unrestricted ASSO basis on a Mult8 block profile: error at equal degree
+// and, critically, the mapped area of the resulting block implementations.
+func BenchmarkAblationBasis(b *testing.B) {
+	bm := bench.Mult8()
+	for _, basis := range []core.Basis{core.BasisColumns, core.BasisASSO} {
+		basis := basis
+		b.Run(basis.String(), func(b *testing.B) {
+			var savings float64
+			for i := 0; i < b.N; i++ {
+				lib := techmap.DefaultLibrary()
+				accurate, err := techmap.Map(logic.ReorderDFS(bm.Circ), lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.Approximate(bm.Circ, bm.Spec, core.Config{
+					Samples: 1 << 12, Seed: 1, Threshold: 0.05, Basis: basis,
+					Lib: lib, MaxSteps: 60,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met, _, err := res.FinalMetrics(res.BestStep, 1<<12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
+			}
+			b.ReportMetric(savings, "area-savings-%")
+		})
+	}
+}
+
+// BenchmarkAblationLazyExploration compares lazy-greedy against the
+// paper-literal exhaustive greedy: final savings and exploration work.
+func BenchmarkAblationLazyExploration(b *testing.B) {
+	bm := bench.Mult8()
+	lib := techmap.DefaultLibrary()
+	for _, lazy := range []bool{false, true} {
+		lazy := lazy
+		name := "exhaustive"
+		if lazy {
+			name = "lazy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var savings float64
+			for i := 0; i < b.N; i++ {
+				accurate, err := techmap.Map(logic.ReorderDFS(bm.Circ), lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.Approximate(bm.Circ, bm.Spec, core.Config{
+					Samples: 1 << 12, Seed: 1, Threshold: 0.05, Lazy: lazy, Lib: lib,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met, _, err := res.FinalMetrics(res.BestStep, 1<<12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
+			}
+			b.ReportMetric(savings, "area-savings-%")
+		})
+	}
+}
+
+// BenchmarkAblationSemiring compares OR-semiring against XOR-field
+// decompressors end to end.
+func BenchmarkAblationSemiring(b *testing.B) {
+	bm := bench.Mult8()
+	lib := techmap.DefaultLibrary()
+	for _, sr := range []bmf.Semiring{bmf.Or, bmf.Xor} {
+		sr := sr
+		b.Run(sr.String(), func(b *testing.B) {
+			var savings float64
+			for i := 0; i < b.N; i++ {
+				accurate, err := techmap.Map(logic.ReorderDFS(bm.Circ), lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.Approximate(bm.Circ, bm.Spec, core.Config{
+					Samples: 1 << 12, Seed: 1, Threshold: 0.05, Semiring: sr,
+					Lib: lib, MaxSteps: 60,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met, _, err := res.FinalMetrics(res.BestStep, 1<<12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
+			}
+			b.ReportMetric(savings, "area-savings-%")
+		})
+	}
+}

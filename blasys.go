@@ -1,0 +1,177 @@
+// Package blasys is a from-scratch Go implementation of BLASYS — approximate
+// logic synthesis using Boolean matrix factorization (Hashemi, Tann, Reda,
+// DAC 2018) — together with every substrate the flow needs: a gate-level
+// logic network with bit-parallel simulation, espresso-style two-level
+// minimization, an AIG-based technology mapper over a synthetic 65 nm
+// standard-cell library, k×m circuit decomposition, Monte-Carlo /
+// accumulator-feedback QoR evaluation, the SALSA-style per-output baseline,
+// and generators for the paper's six benchmark circuits.
+//
+// # Quick start
+//
+//	b := blasys.Mult8()
+//	res, err := blasys.Approximate(b.Circ, b.Spec, blasys.Config{
+//		Threshold: 0.05, // 5% average relative error
+//	})
+//	if err != nil { ... }
+//	circ, _ := res.BestCircuit()       // the approximate netlist
+//	met, rep, _ := res.FinalMetrics(res.BestStep, 1<<20)
+//	fmt.Printf("area %.1f um^2 at %.2f%% error\n", met.Area, 100*rep.AvgRel)
+//
+// Custom circuits are built through a Builder (see NewBuilder) or read from
+// BLIF (ReadBLIF); results can be written back as BLIF or structural
+// Verilog.
+//
+// This package is a facade: it re-exports the library's main types and entry
+// points so downstream users need a single import. The implementation lives
+// in the internal packages, one per subsystem (see DESIGN.md for the map).
+package blasys
+
+import (
+	"io"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/salsa"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/verilog"
+)
+
+// Core circuit types.
+type (
+	// Circuit is a combinational gate-level netlist.
+	Circuit = logic.Circuit
+	// Builder constructs circuits with structural hashing.
+	Builder = logic.Builder
+	// NodeID identifies a node in a Circuit.
+	NodeID = logic.NodeID
+)
+
+// Flow configuration and results.
+type (
+	// Config controls the BLASYS flow (see core.Config for field docs).
+	Config = core.Config
+	// Result carries the exploration trace and reconstruction helpers.
+	Result = core.Result
+	// Basis selects the BMF family (BasisColumns or BasisASSO).
+	Basis = core.Basis
+	// TracePoint is one point of the accuracy/area trade-off curve.
+	TracePoint = core.TracePoint
+)
+
+// QoR types.
+type (
+	// OutputSpec assigns numeric meaning to circuit outputs.
+	OutputSpec = qor.OutputSpec
+	// Group is one numeric bus within an OutputSpec.
+	Group = qor.Group
+	// Metric selects the error metric driving exploration.
+	Metric = qor.Metric
+	// Report carries every error statistic of one comparison.
+	Report = qor.Report
+	// Sequence requests accumulator-feedback (multi-cycle) evaluation.
+	Sequence = qor.Sequence
+)
+
+// Technology mapping types.
+type (
+	// Library is a standard-cell library.
+	Library = techmap.Library
+	// Mapped is a technology-mapped netlist.
+	Mapped = techmap.Mapped
+	// Metrics bundles area (µm²), power (µW) and delay (ns).
+	Metrics = techmap.Metrics
+)
+
+// Benchmark is a paper benchmark circuit with its output interpretation.
+type Benchmark = bench.Circuit
+
+// Metric constants.
+const (
+	AvgRelative     = qor.AvgRelative
+	AvgAbsolute     = qor.AvgAbsolute
+	NormAvgAbsolute = qor.NormAvgAbsolute
+	MeanHamming     = qor.MeanHamming
+	ErrorRate       = qor.ErrorRate
+	WorstRelative   = qor.WorstRelative
+	MSE             = qor.MSE
+)
+
+// Basis constants.
+const (
+	BasisColumns = core.BasisColumns
+	BasisASSO    = core.BasisASSO
+)
+
+// Semiring constants for Config.Semiring.
+const (
+	SemiringOr  = bmf.Or
+	SemiringXor = bmf.Xor
+)
+
+// Approximate runs the complete BLASYS flow on a circuit.
+func Approximate(c *Circuit, spec OutputSpec, cfg Config) (*Result, error) {
+	return core.Approximate(c, spec, cfg)
+}
+
+// ApproximateSALSA runs the per-output SALSA-style baseline.
+func ApproximateSALSA(c *Circuit, spec OutputSpec, cfg SALSAConfig) (*SALSAResult, error) {
+	return salsa.Approximate(c, spec, cfg)
+}
+
+// SALSA baseline types.
+type (
+	// SALSAConfig controls the baseline.
+	SALSAConfig = salsa.Config
+	// SALSAResult is the baseline outcome.
+	SALSAResult = salsa.Result
+)
+
+// NewBuilder returns a Builder over a fresh named circuit.
+func NewBuilder(name string) *Builder { return logic.NewBuilder(name) }
+
+// Unsigned builds the OutputSpec treating outputs [0, n) as one unsigned
+// number, LSB first.
+func Unsigned(name string, n int) OutputSpec { return qor.Unsigned(name, n) }
+
+// DefaultLibrary returns the synthetic 65 nm standard-cell library.
+func DefaultLibrary() *Library { return techmap.DefaultLibrary() }
+
+// Map technology-maps a circuit onto a library.
+func Map(c *Circuit, lib *Library) (*Mapped, error) { return techmap.Map(c, lib) }
+
+// Benchmarks returns the paper's six Table 1 circuits.
+func Benchmarks() []Benchmark { return bench.All() }
+
+// BenchmarkByName returns one paper benchmark (Adder32, Mult8, BUT, MAC,
+// SAD, FIR, or Fig3).
+func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name) }
+
+// Benchmark constructors.
+var (
+	Adder32 = bench.Adder32
+	Mult8   = bench.Mult8
+	BUT     = bench.BUT
+	MAC     = bench.MAC
+	SAD     = bench.SAD
+	FIR     = bench.FIR
+	Fig3    = bench.Fig3
+)
+
+// ReadBLIF parses a combinational BLIF model.
+func ReadBLIF(r io.Reader) (*Circuit, error) { return blif.Read(r) }
+
+// WriteBLIF serializes a circuit as BLIF.
+func WriteBLIF(w io.Writer, c *Circuit) error { return blif.Write(w, c) }
+
+// WriteVerilog serializes a circuit as structural Verilog.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// NewEvaluator prepares a Monte-Carlo (or exhaustive) QoR evaluator.
+func NewEvaluator(ref *Circuit, spec OutputSpec, samples int, seed int64) (*qor.Evaluator, error) {
+	return qor.NewEvaluator(ref, spec, samples, seed)
+}

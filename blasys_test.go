@@ -1,0 +1,125 @@
+package blasys_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/blasys-go/blasys"
+)
+
+// TestFacadeEndToEnd drives the whole public API: build, approximate,
+// reconstruct, map, export.
+func TestFacadeEndToEnd(t *testing.T) {
+	b := blasys.NewBuilder("adder6")
+	x := b.Inputs("a", 6)
+	y := b.Inputs("b", 6)
+	carry := b.Const(false)
+	var sums []blasys.NodeID
+	for i := 0; i < 6; i++ {
+		axb := b.Xor(x[i], y[i])
+		sums = append(sums, b.Xor(axb, carry))
+		carry = b.Or(b.And(x[i], y[i]), b.And(axb, carry))
+	}
+	sums = append(sums, carry)
+	b.Outputs("s", sums)
+
+	res, err := blasys.Approximate(b.C, blasys.Unsigned("s", 7), blasys.Config{
+		K: 6, M: 4, Threshold: 0.05, Samples: 1 << 12, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := res.BestCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := blasys.Map(circ, blasys.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Area() <= 0 {
+		t.Error("mapped area not positive")
+	}
+
+	var v, blifBuf bytes.Buffer
+	if err := blasys.WriteVerilog(&v, circ); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "module") {
+		t.Error("verilog export missing module")
+	}
+	if err := blasys.WriteBLIF(&blifBuf, circ); err != nil {
+		t.Fatal(err)
+	}
+	back, err := blasys.ReadBLIF(&blifBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumInputs() != 12 || back.NumOutputs() != 7 {
+		t.Errorf("BLIF round trip I/O %d/%d", back.NumInputs(), back.NumOutputs())
+	}
+}
+
+// TestBenchmarksAccessible checks the facade exposes all paper benchmarks.
+func TestBenchmarksAccessible(t *testing.T) {
+	if got := len(blasys.Benchmarks()); got != 6 {
+		t.Errorf("Benchmarks() returned %d, want 6", got)
+	}
+	for _, name := range []string{"Adder32", "Mult8", "BUT", "MAC", "SAD", "FIR", "Fig3"} {
+		if _, err := blasys.BenchmarkByName(name); err != nil {
+			t.Errorf("BenchmarkByName(%q): %v", name, err)
+		}
+	}
+	mac := blasys.MAC()
+	if mac.Seq == nil {
+		t.Error("MAC benchmark missing its accumulator sequence")
+	}
+	if blasys.Fig3().Circ.NumInputs() != 4 {
+		t.Error("Fig3 wrong input count")
+	}
+}
+
+// TestEvaluatorFacade checks the exported evaluator constructor.
+func TestEvaluatorFacade(t *testing.T) {
+	b := blasys.Mult8()
+	eval, err := blasys.NewEvaluator(b.Circ, b.Spec, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.Compare(b.Circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact {
+		t.Error("16-input circuit with 2^20 samples should be exhaustive")
+	}
+	if rep.AvgRel != 0 {
+		t.Error("self-comparison must be exact")
+	}
+}
+
+// TestSALSAFacade runs the baseline through the facade.
+func TestSALSAFacade(t *testing.T) {
+	b := blasys.NewBuilder("small")
+	x := b.Inputs("a", 4)
+	y := b.Inputs("b", 4)
+	carry := b.Const(false)
+	var sums []blasys.NodeID
+	for i := 0; i < 4; i++ {
+		axb := b.Xor(x[i], y[i])
+		sums = append(sums, b.Xor(axb, carry))
+		carry = b.Or(b.And(x[i], y[i]), b.And(axb, carry))
+	}
+	sums = append(sums, carry)
+	b.Outputs("s", sums)
+	res, err := blasys.ApproximateSALSA(b.C, blasys.Unsigned("s", 5), blasys.SALSAConfig{
+		Threshold: 0.10, Samples: 1 << 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit == nil {
+		t.Fatal("nil result circuit")
+	}
+}

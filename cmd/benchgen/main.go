@@ -1,0 +1,73 @@
+// Command benchgen emits the paper's benchmark circuits as BLIF and
+// structural Verilog netlists and prints their accurate design metrics
+// (Table 1 of the paper).
+//
+//	benchgen -out netlists            # write all benchmarks
+//	benchgen -bench Mult8 -out .      # just one
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/verilog"
+)
+
+func main() {
+	var (
+		name = flag.String("bench", "", "single benchmark to emit (default: all)")
+		out  = flag.String("out", "netlists", "output directory")
+		seed = flag.Int64("seed", 1, "seed for the power estimate")
+	)
+	flag.Parse()
+	if err := run(*name, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, out string, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var list []bench.Circuit
+	if name != "" {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return err
+		}
+		list = []bench.Circuit{b}
+	} else {
+		list = bench.All()
+	}
+	lib := techmap.DefaultLibrary()
+	fmt.Println("| Name | I/O | Gates | Area (um^2) | Power (uW) | Delay (ns) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, b := range list {
+		prepared := logic.ReorderDFS(b.Circ)
+		base := filepath.Join(out, strings.ToLower(b.Name))
+		if err := blif.WriteFile(base+".blif", prepared); err != nil {
+			return err
+		}
+		if err := verilog.WriteFile(base+".v", prepared); err != nil {
+			return err
+		}
+		mapped, err := techmap.Map(prepared, lib)
+		if err != nil {
+			return err
+		}
+		met := mapped.Metrics(1<<14, seed)
+		fmt.Printf("| %s | %d/%d | %d | %.1f | %.1f | %.3f |\n",
+			b.Name, b.Circ.NumInputs(), b.Circ.NumOutputs(), prepared.NumGates(),
+			met.Area, met.Power, met.Delay)
+	}
+	fmt.Printf("netlists written under %s/\n", out)
+	return nil
+}

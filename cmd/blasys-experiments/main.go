@@ -1,0 +1,444 @@
+// Command blasys-experiments regenerates every table and figure of the
+// BLASYS paper (DAC'18) with this reproduction's substrate, writing CSV data
+// files under -out and printing markdown tables for direct comparison with
+// the paper.
+//
+//	blasys-experiments -run all
+//	blasys-experiments -run table2 -samples 65536
+//	blasys-experiments -run fig5 -quick
+//
+// Experiments: table1, fig3, fig4, fig5, table2, table3, runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/partition"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/salsa"
+	"github.com/blasys-go/blasys/internal/synth"
+	"github.com/blasys-go/blasys/internal/techmap"
+)
+
+type settings struct {
+	outDir       string
+	samples      int
+	finalSamples int
+	seed         int64
+	quick        bool
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment: all, table1, fig3, fig4, fig5, table2, table3, runtime")
+		out   = flag.String("out", "results", "output directory for CSV files")
+		quick = flag.Bool("quick", false, "smaller sample counts for a fast smoke run")
+
+		samples      = flag.Int("samples", 1<<16, "exploration Monte-Carlo samples")
+		finalSamples = flag.Int("final-samples", 1<<20, "final-report Monte-Carlo samples (paper: 1M)")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	s := settings{outDir: *out, samples: *samples, finalSamples: *finalSamples, seed: *seed, quick: *quick}
+	if *quick {
+		s.samples = 1 << 12
+		s.finalSamples = 1 << 14
+	}
+	if err := os.MkdirAll(s.outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	experiments := map[string]func(settings) error{
+		"table1":  table1,
+		"fig3":    fig3,
+		"fig4":    fig4,
+		"fig5":    fig5,
+		"table2":  table2,
+		"table3":  table3,
+		"runtime": runtimeSplit,
+	}
+	order := []string{"table1", "fig3", "fig4", "fig5", "table2", "table3", "runtime"}
+	if *run == "all" {
+		for _, name := range order {
+			banner(name)
+			if err := experiments[name](s); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	fn, ok := experiments[*run]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (have %s)", *run, strings.Join(order, ", ")))
+	}
+	banner(*run)
+	if err := fn(s); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blasys-experiments:", err)
+	os.Exit(1)
+}
+
+func banner(name string) {
+	fmt.Printf("\n================ %s ================\n", name)
+}
+
+func writeCSV(s settings, name string, header string, rows []string) error {
+	path := filepath.Join(s.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, header)
+	for _, r := range rows {
+		fmt.Fprintln(f, r)
+	}
+	fmt.Printf("[csv] %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// table1 reports the accurate-design metrics of the six benchmarks
+// (paper Table 1; absolute values differ — synthetic library — but relative
+// sizes should track the paper's).
+func table1(s settings) error {
+	lib := techmap.DefaultLibrary()
+	fmt.Println("| Name | Function | I/O | Area (um^2) | Power (uW) | Delay (ns) | Cells |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	var rows []string
+	for _, b := range bench.All() {
+		mapped, err := techmap.Map(logic.ReorderDFS(b.Circ), lib)
+		if err != nil {
+			return err
+		}
+		met := mapped.Metrics(1<<14, s.seed)
+		fmt.Printf("| %s | %s | %d/%d | %.1f | %.1f | %.3f | %d |\n",
+			b.Name, b.Function, b.Circ.NumInputs(), b.Circ.NumOutputs(),
+			met.Area, met.Power, met.Delay, met.Cells)
+		rows = append(rows, fmt.Sprintf("%s,%d,%d,%.2f,%.2f,%.4f,%d",
+			b.Name, b.Circ.NumInputs(), b.Circ.NumOutputs(), met.Area, met.Power, met.Delay, met.Cells))
+	}
+	return writeCSV(s, "table1.csv", "name,inputs,outputs,area_um2,power_uW,delay_ns,cells", rows)
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// fig3 factorizes the paper's illustrative 4x4 truth table at f = 3, 2, 1
+// and reports Hamming distance plus synthesized area, mirroring the figure
+// (paper: Hamming 3/6/13 of 64; areas 22.3 -> 16.2/19.1/9.4 um^2).
+func fig3(s settings) error {
+	lib := techmap.DefaultLibrary()
+	M := bench.Fig3Matrix()
+	orig, err := synth.CircuitFromMatrix("fig3", M, synth.Options{Exact: true})
+	if err != nil {
+		return err
+	}
+	origMapped, err := techmap.Map(orig, lib)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original: area %.1f um^2 (paper: 22.3 um^2 in its library)\n", origMapped.Area())
+	fmt.Println("| f | Hamming (ours) | Hamming (paper) | Area (ours, um^2) | Area/orig (ours) | Area/orig (paper) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	paperHam := map[int]int{3: 3, 2: 6, 1: 13}
+	paperRel := map[int]float64{3: 19.1 / 22.3, 2: 16.2 / 22.3, 1: 9.4 / 22.3}
+	var rows []string
+	for f := 3; f >= 1; f-- {
+		res, err := bmf.Factorize(M, f, bmf.Options{})
+		if err != nil {
+			return err
+		}
+		blk, err := synth.ApproxBlock(fmt.Sprintf("fig3_f%d", f), res, bmf.Or, synth.Options{Exact: true})
+		if err != nil {
+			return err
+		}
+		mapped, err := techmap.Map(blk, lib)
+		if err != nil {
+			return err
+		}
+		rel := mapped.Area() / origMapped.Area()
+		fmt.Printf("| %d | %d | %d | %.1f | %.2f | %.2f |\n",
+			f, res.Hamming, paperHam[f], mapped.Area(), rel, paperRel[f])
+		rows = append(rows, fmt.Sprintf("%d,%d,%d,%.2f,%.3f,%.3f",
+			f, res.Hamming, paperHam[f], mapped.Area(), rel, paperRel[f]))
+	}
+	return writeCSV(s, "fig3.csv", "f,hamming,paper_hamming,area_um2,norm_area,paper_norm_area", rows)
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// fig4 compares weighted-QoR vs uniform-QoR factorization on Mult8: the
+// paper's Fig. 4 plots normalized design area against three normalized error
+// metrics for both variants; the weighted curve should dominate.
+func fig4(s settings) error {
+	b := bench.Mult8()
+	var rows []string
+	for _, weighted := range []bool{false, true} {
+		label := "uqor"
+		if weighted {
+			label = "wqor"
+		}
+		res, err := core.Approximate(b.Circ, b.Spec, core.Config{
+			Samples: s.samples, Seed: s.seed, Weighted: weighted,
+			ExploreFully: true,
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Trace() {
+			rows = append(rows, fmt.Sprintf("%s,%d,%.5f,%.6g,%.6g,%.6g",
+				label, p.Step, p.NormModelArea, p.AvgRel, p.NormAvgAbs, p.MeanHamming))
+		}
+		// Print a few anchor points for the markdown comparison.
+		fmt.Printf("%s: %d trace points; ", label, len(res.Steps)+1)
+		fmt.Printf("area@rel<=5%%: %.3f\n", areaAtError(res, qor.AvgRelative, 0.05))
+	}
+	fmt.Println("(lower area at equal error for wqor vs uqor reproduces Fig. 4's separation)")
+	return writeCSV(s, "fig4_mult8.csv", "variant,step,norm_area,avg_rel,norm_avg_abs,mean_hamming", rows)
+}
+
+// areaAtError returns the smallest normalized model area among trace points
+// whose metric stays within the budget.
+func areaAtError(res *core.Result, m qor.Metric, budget float64) float64 {
+	best := 1.0
+	for i, s := range res.Steps {
+		_ = i
+		if s.Report.Value(m) <= budget {
+			a := s.ModelArea / res.AccurateModelArea
+			if a < best {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// fig5 records the full trade-off trace for every benchmark: normalized
+// design area vs normalized average relative error and (log-scale in the
+// paper) normalized average absolute error.
+func fig5(s settings) error {
+	for _, b := range bench.All() {
+		start := time.Now()
+		res, err := core.Approximate(b.Circ, b.Spec, core.Config{
+			Samples: s.samples, Seed: s.seed, ExploreFully: true, Sequence: b.Seq,
+			MaxSteps: maxStepsFor(s, b.Name),
+		})
+		if err != nil {
+			return err
+		}
+		var rows []string
+		for _, p := range res.Trace() {
+			rows = append(rows, fmt.Sprintf("%d,%.5f,%.6g,%.6g,%.6g,%.6g",
+				p.Step, p.NormModelArea, p.AvgRel, p.AvgAbs, p.NormAvgAbs, p.MeanHamming))
+		}
+		if err := writeCSV(s, fmt.Sprintf("fig5_%s.csv", strings.ToLower(b.Name)),
+			"step,norm_area,avg_rel,avg_abs,norm_avg_abs,mean_hamming", rows); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d steps, min norm area %.3f, %v\n",
+			b.Name, len(res.Steps), minArea(res), time.Since(start))
+	}
+	return nil
+}
+
+func maxStepsFor(s settings, name string) int {
+	if !s.quick {
+		return 0
+	}
+	return 30
+}
+
+func minArea(res *core.Result) float64 {
+	min := 1.0
+	for _, st := range res.Steps {
+		if a := st.ModelArea / res.AccurateModelArea; a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// table2 reports area/power/delay savings at the 5% average-relative-error
+// threshold for all six benchmarks (paper Table 2).
+func table2(s settings) error {
+	paper := map[string][3]float64{
+		"Adder32": {44.78, 63.79, 12.07},
+		"Mult8":   {28.77, 26.87, 12.32},
+		"BUT":     {7.87, 11.25, 2.23},
+		"MAC":     {47.55, 55.58, 64.41},
+		"SAD":     {32.80, 41.47, 69.14},
+		"FIR":     {19.52, 22.26, 12.18},
+	}
+	lib := techmap.DefaultLibrary()
+	fmt.Println("| Design | Area sav. % (ours) | (paper) | Power sav. % (ours) | (paper) | Delay red. % (ours) | (paper) |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	var rows []string
+	for _, b := range bench.All() {
+		accurate, err := techmap.Map(logic.ReorderDFS(b.Circ), lib)
+		if err != nil {
+			return err
+		}
+		accMet := accurate.Metrics(1<<14, s.seed)
+		res, err := core.Approximate(b.Circ, b.Spec, core.Config{
+			Samples: s.samples, Seed: s.seed, Threshold: 0.05, Lib: lib,
+			Sequence: b.Seq, MaxSteps: maxStepsFor(s, b.Name),
+		})
+		if err != nil {
+			return err
+		}
+		met, rep, err := res.FinalMetrics(res.BestStep, s.finalSamples)
+		if err != nil {
+			return err
+		}
+		p := paper[b.Name]
+		aSav := pct(accMet.Area, met.Area)
+		pSav := pct(accMet.Power, met.Power)
+		dSav := pct(accMet.Delay, met.Delay)
+		fmt.Printf("| %s | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+			b.Name, aSav, p[0], pSav, p[1], dSav, p[2])
+		rows = append(rows, fmt.Sprintf("%s,%.3f,%.2f,%.3f,%.2f,%.3f,%.2f,%.5f",
+			b.Name, aSav, p[0], pSav, p[1], dSav, p[2], rep.AvgRel))
+	}
+	return writeCSV(s, "table2.csv",
+		"name,area_savings_pct,paper_area,power_savings_pct,paper_power,delay_reduction_pct,paper_delay,final_avg_rel", rows)
+}
+
+func pct(accurate, approx float64) float64 {
+	if accurate == 0 {
+		return 0
+	}
+	return 100 * (accurate - approx) / accurate
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// table3 compares BLASYS against the SALSA-style per-output baseline at 5%
+// and 25% thresholds (paper Table 3).
+func table3(s settings) error {
+	paper := map[string][4]float64{ // blasys5, salsa5, blasys25, salsa25
+		"Adder32": {44.9, 20.5, 48.2, 23.2},
+		"Mult8":   {28.8, 1.8, 63.2, 8.9},
+		"BUT":     {7.9, 5.0, 26.4, 24.7},
+		"MAC":     {47.6, 1.7, 65.9, 8.2},
+		"SAD":     {32.8, 3.3, 38.1, 15.8},
+		"FIR":     {19.5, 3.2, 34.0, 15.8},
+	}
+	lib := techmap.DefaultLibrary()
+	fmt.Println("| Design | Thr. | BLASYS area sav. % (ours) | (paper) | Baseline area sav. % (ours) | (paper SALSA) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	var rows []string
+	for _, b := range bench.All() {
+		accurate, err := techmap.Map(logic.ReorderDFS(b.Circ), lib)
+		if err != nil {
+			return err
+		}
+		accArea := accurate.Area()
+		for ti, thr := range []float64{0.05, 0.25} {
+			// Lazy greedy keeps the 12 runs of this table tractable; the
+			// ablation benches confirm it tracks exhaustive greedy closely.
+			res, err := core.Approximate(b.Circ, b.Spec, core.Config{
+				Samples: s.samples, Seed: s.seed, Threshold: thr, Lib: lib,
+				Sequence: b.Seq, MaxSteps: maxStepsFor(s, b.Name), Lazy: true,
+			})
+			if err != nil {
+				return err
+			}
+			met, _, err := res.FinalMetrics(res.BestStep, s.samples)
+			if err != nil {
+				return err
+			}
+			blasysSav := pct(accArea, met.Area)
+
+			sres, err := salsa.Approximate(b.Circ, b.Spec, salsa.Config{
+				Threshold: thr, Samples: s.samples, Seed: s.seed, Sequence: b.Seq,
+			})
+			if err != nil {
+				return err
+			}
+			smapped, err := techmap.Map(sres.Circuit, lib)
+			if err != nil {
+				return err
+			}
+			salsaSav := pct(accArea, smapped.Area())
+
+			p := paper[b.Name]
+			fmt.Printf("| %s | %.0f%% | %.2f | %.1f | %.2f | %.1f |\n",
+				b.Name, 100*thr, blasysSav, p[ti*2], salsaSav, p[ti*2+1])
+			rows = append(rows, fmt.Sprintf("%s,%.2f,%.3f,%.1f,%.3f,%.1f",
+				b.Name, thr, blasysSav, p[ti*2], salsaSav, p[ti*2+1]))
+		}
+	}
+	return writeCSV(s, "table3.csv",
+		"name,threshold,blasys_area_savings_pct,paper_blasys,baseline_area_savings_pct,paper_salsa", rows)
+}
+
+// ---------------------------------------------------------------- runtime
+
+// runtimeSplit reproduces the paper's §4.2 runtime observation on Adder32:
+// BMF factorization of all subcircuits is fast (paper: 0.35 s) while
+// accuracy simulation dominates (paper: ~11 s per design point at 1M
+// samples).
+func runtimeSplit(s settings) error {
+	b := bench.Adder32()
+	prepared := logic.ReorderDFS(b.Circ)
+	blocks, err := partition.Decompose(prepared, partition.Options{MaxInputs: 10, MaxOutputs: 10})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	totalFactorizations := 0
+	for _, blk := range blocks {
+		mi := len(blk.Outputs)
+		if mi < 2 {
+			continue
+		}
+		M, err := partition.TruthMatrix(prepared, blk)
+		if err != nil {
+			return err
+		}
+		for f := 1; f < mi && f <= bmf.MaxDegree; f++ {
+			if _, err := bmf.FactorizeColumns(M, f, bmf.Options{}); err != nil {
+				return err
+			}
+			totalFactorizations++
+		}
+	}
+	bmfTime := time.Since(t0)
+
+	eval, err := qor.NewEvaluator(prepared, b.Spec, 1<<20, s.seed)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	if _, err := eval.Compare(prepared.Clone()); err != nil {
+		return err
+	}
+	simTime := time.Since(t0)
+
+	fmt.Printf("Adder32: %d blocks, %d factorizations in %v (paper: 0.35 s)\n",
+		len(blocks), totalFactorizations, bmfTime)
+	fmt.Printf("Adder32: one 1M-sample design-point simulation in %v (paper: ~11 s)\n", simTime)
+	fmt.Printf("simulation/BMF ratio: %.1fx (paper: ~31x) — simulation dominates in both\n",
+		float64(simTime)/float64(bmfTime))
+	rows := []string{fmt.Sprintf("%d,%d,%.6f,%.6f", len(blocks), totalFactorizations,
+		bmfTime.Seconds(), simTime.Seconds())}
+	return writeCSV(s, "runtime.csv", "blocks,factorizations,bmf_seconds,sim_1M_seconds", rows)
+}

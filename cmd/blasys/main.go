@@ -1,0 +1,196 @@
+// Command blasys runs the BLASYS approximate-synthesis flow on a benchmark
+// circuit (or a BLIF netlist) and reports the accuracy/area trade-off.
+//
+// Examples:
+//
+//	blasys -bench Mult8 -threshold 0.05
+//	blasys -bench Adder32 -weighted -metric rel -trace trace.csv
+//	blasys -blif mydesign.blif -k 8 -m 8 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/verilog"
+)
+
+var metricNames = map[string]qor.Metric{
+	"rel":     qor.AvgRelative,
+	"abs":     qor.AvgAbsolute,
+	"normabs": qor.NormAvgAbsolute,
+	"hamming": qor.MeanHamming,
+	"rate":    qor.ErrorRate,
+	"worst":   qor.WorstRelative,
+	"mse":     qor.MSE,
+}
+
+func main() {
+	var (
+		benchName    = flag.String("bench", "", "benchmark name ("+strings.Join(bench.Names(), ", ")+")")
+		blifPath     = flag.String("blif", "", "BLIF netlist to approximate (outputs treated as one unsigned bus)")
+		k            = flag.Int("k", 10, "max block inputs")
+		m            = flag.Int("m", 10, "max block outputs")
+		threshold    = flag.Float64("threshold", 0.05, "error threshold")
+		metricName   = flag.String("metric", "rel", "QoR metric: rel, abs, normabs, hamming, rate, worst, mse")
+		samples      = flag.Int("samples", 1<<16, "Monte-Carlo samples during exploration")
+		finalSamples = flag.Int("final-samples", 1<<20, "Monte-Carlo samples for final report")
+		seed         = flag.Int64("seed", 1, "random seed")
+		weighted     = flag.Bool("weighted", false, "use weighted-QoR factorization (paper §3.2)")
+		semiring     = flag.String("semiring", "or", "decompressor algebra: or, xor")
+		full         = flag.Bool("full", false, "explore the full trade-off past the threshold")
+		maxSteps     = flag.Int("max-steps", 0, "cap exploration steps (0 = unlimited)")
+		lazy         = flag.Bool("lazy", false, "lazy-greedy exploration (fewer simulations, same argmin under monotone error)")
+		tracePath    = flag.String("trace", "", "write the exploration trace as CSV")
+		outPath      = flag.String("out", "", "write the chosen approximate netlist (suffix .v or .blif)")
+		verbose      = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+	if err := run(*benchName, *blifPath, *k, *m, *threshold, *metricName, *samples,
+		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *tracePath, *outPath, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "blasys:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, blifPath string, k, m int, threshold float64, metricName string,
+	samples, finalSamples int, seed int64, weighted bool, semiring string,
+	full bool, maxSteps int, lazy bool, tracePath, outPath string, verbose bool) error {
+
+	metric, ok := metricNames[metricName]
+	if !ok {
+		return fmt.Errorf("unknown metric %q", metricName)
+	}
+	var sr bmf.Semiring
+	switch semiring {
+	case "or":
+		sr = bmf.Or
+	case "xor":
+		sr = bmf.Xor
+	default:
+		return fmt.Errorf("unknown semiring %q", semiring)
+	}
+
+	var circ *logic.Circuit
+	var spec qor.OutputSpec
+	var seq *qor.Sequence
+	switch {
+	case benchName != "":
+		b, err := bench.ByName(benchName)
+		if err != nil {
+			return err
+		}
+		circ, spec, seq = b.Circ, b.Spec, b.Seq
+	case blifPath != "":
+		c, err := blif.ReadFile(blifPath)
+		if err != nil {
+			return err
+		}
+		circ = c
+		spec = qor.Unsigned("out", len(c.Outputs))
+	default:
+		return fmt.Errorf("one of -bench or -blif is required")
+	}
+
+	lib := techmap.DefaultLibrary()
+	cfg := core.Config{
+		K: k, M: m, Metric: metric, Threshold: threshold, Samples: samples,
+		Seed: seed, Weighted: weighted, Semiring: sr, Lib: lib,
+		ExploreFully: full, MaxSteps: maxSteps, Sequence: seq, Lazy: lazy,
+	}
+
+	start := time.Now()
+	accurate, err := techmap.Map(logic.ReorderDFS(circ), lib)
+	if err != nil {
+		return err
+	}
+	accMet := accurate.Metrics(1<<14, seed)
+	fmt.Printf("accurate  %-8s in/out %d/%d  gates %d  area %.1f um^2  power %.1f uW  delay %.3f ns\n",
+		circ.Name, circ.NumInputs(), circ.NumOutputs(), circ.NumGates(),
+		accMet.Area, accMet.Power, accMet.Delay)
+
+	res, err := core.Approximate(circ, spec, cfg)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("decomposed into %d blocks; profiled in %v\n", len(res.Profiles), time.Since(start))
+		for i, s := range res.Steps {
+			fmt.Printf("  step %3d: block %3d -> f=%d  %s=%.5f  model-area %.1f\n",
+				i, s.BlockIndex, s.NewDegree, metric, s.Report.Value(metric), s.ModelArea)
+		}
+	}
+	fmt.Printf("explored %d steps in %v (best step %d)\n", len(res.Steps), time.Since(start), res.BestStep)
+
+	met, rep, err := res.FinalMetrics(res.BestStep, finalSamples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("approx    %-8s %s=%.5f (%d samples)  area %.1f (-%.1f%%)  power %.1f (-%.1f%%)  delay %.3f (-%.1f%%)\n",
+		circ.Name, metric, rep.Value(metric), rep.Samples,
+		met.Area, savings(accMet.Area, met.Area),
+		met.Power, savings(accMet.Power, met.Power),
+		met.Delay, savings(accMet.Delay, met.Delay))
+
+	if tracePath != "" {
+		if err := writeTrace(tracePath, res); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
+	}
+	if outPath != "" {
+		best, err := res.BestCircuit()
+		if err != nil {
+			return err
+		}
+		if err := writeNetlist(outPath, best); err != nil {
+			return err
+		}
+		fmt.Printf("netlist written to %s\n", outPath)
+	}
+	return nil
+}
+
+func savings(accurate, approx float64) float64 {
+	if accurate == 0 {
+		return 0
+	}
+	return 100 * (accurate - approx) / accurate
+}
+
+func writeTrace(path string, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "step,block,degree,norm_model_area,avg_rel,avg_abs,norm_avg_abs,mean_hamming")
+	for _, p := range res.Trace() {
+		fmt.Fprintf(f, "%d,%d,%d,%.6f,%.6g,%.6g,%.6g,%.6g\n",
+			p.Step, p.BlockIndex, p.NewDegree, p.NormModelArea,
+			p.AvgRel, p.AvgAbs, p.NormAvgAbs, p.MeanHamming)
+	}
+	return nil
+}
+
+func writeNetlist(path string, c *logic.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".blif") {
+		return blif.Write(f, c)
+	}
+	return verilog.Write(f, c)
+}

@@ -1,0 +1,65 @@
+// Accumulator example: approximate the SAD (sum of absolute differences)
+// benchmark under the multi-cycle error model — the accumulator feedback
+// makes per-cycle errors compound, so the flow must keep the accumulation
+// path accurate while trimming the |a-b| datapath.
+//
+// This mirrors how the paper evaluates its MAC and SAD benchmarks (citing
+// ASLAN's multi-cycle error modeling).
+//
+//	go run ./examples/accumulator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/blasys-go/blasys"
+)
+
+func main() {
+	b := blasys.SAD() // 8-bit |a-b| + 32-bit accumulator; b.Seq wires the feedback
+
+	res, err := blasys.Approximate(b.Circ, b.Spec, blasys.Config{
+		Threshold: 0.05,
+		Samples:   1 << 14,
+		Seed:      11,
+		Sequence:  b.Seq, // accumulate for 64 cycles per chain
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lib := blasys.DefaultLibrary()
+	before, err := blasys.Map(b.Circ, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, rep, err := res.FinalMetrics(res.BestStep, 1<<18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAD with 64-cycle accumulation chains:\n")
+	fmt.Printf("  area %.1f -> %.1f um^2 (%.1f%% saved)\n",
+		before.Area(), met.Area, 100*(before.Area()-met.Area)/before.Area())
+	fmt.Printf("  avg relative error %.4f, worst %.4f, error rate %.4f\n",
+		rep.AvgRel, rep.WorstRel, rep.ErrRate)
+
+	// Contrast with the (wrong) combinational evaluation: random accumulator
+	// inputs make |a-b| look negligible and the whole datapath gets gutted.
+	resComb, err := blasys.Approximate(b.Circ, b.Spec, blasys.Config{
+		Threshold: 0.05,
+		Samples:   1 << 14,
+		Seed:      11,
+		// no Sequence: plain Monte-Carlo over all 48 inputs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	metComb, _, err := resComb.FinalMetrics(resComb.BestStep, 1<<16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfor contrast, combinational evaluation of the same budget keeps only %.1f um^2\n", metComb.Area)
+	fmt.Println("(the accumulator input dwarfs |a-b|, so everything looks droppable —")
+	fmt.Println(" which is why the sequential model matters for accumulator designs)")
+}

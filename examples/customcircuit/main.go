@@ -1,0 +1,138 @@
+// Custom circuit example: build your own datapath with the circuit Builder,
+// approximate it, and export the result as Verilog and BLIF.
+//
+// The circuit is a 12-bit squared-Euclidean-distance term (a-b)^2 — the kind
+// of error-tolerant kernel approximate computing targets.
+//
+//	go run ./examples/customcircuit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/blasys-go/blasys"
+)
+
+func main() {
+	c, spec := buildSquaredDistance(6)
+	fmt.Printf("built %s: %d inputs, %d outputs, %d gates\n",
+		c.Name, c.NumInputs(), c.NumOutputs(), c.NumGates())
+
+	res, err := blasys.Approximate(c, spec, blasys.Config{
+		K: 8, M: 6, // smaller blocks for a small circuit
+		Threshold: 0.10, // 10% average relative error budget
+		Samples:   1 << 14,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := res.BestCircuit()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lib := blasys.DefaultLibrary()
+	before, err := blasys.Map(c, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := blasys.Map(approx, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area %.1f -> %.1f um^2 across %d exploration steps\n",
+		before.Area(), after.Area(), len(res.Steps))
+
+	if err := os.MkdirAll("out", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	vf, err := os.Create("out/sqdist_approx.v")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vf.Close()
+	if err := blasys.WriteVerilog(vf, approx); err != nil {
+		log.Fatal(err)
+	}
+	bf, err := os.Create("out/sqdist_approx.blif")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bf.Close()
+	if err := blasys.WriteBLIF(bf, approx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote out/sqdist_approx.v and out/sqdist_approx.blif")
+}
+
+// buildSquaredDistance constructs (a-b)^2 for n-bit unsigned a, b.
+func buildSquaredDistance(n int) (*blasys.Circuit, blasys.OutputSpec) {
+	b := blasys.NewBuilder("sqdist")
+	a := b.Inputs("a", n)
+	x := b.Inputs("b", n)
+
+	// |a-b| via conditional two's-complement.
+	diff := subtract(b, a, x) // n+1 bits two's complement
+	sign := diff[len(diff)-1]
+	mag := make([]blasys.NodeID, len(diff))
+	for i, d := range diff {
+		mag[i] = b.Xor(d, sign)
+	}
+	abs := addConst(b, mag, sign)[:n]
+
+	// square via shift-and-add multiplier.
+	sq := multiply(b, abs, abs)
+	b.Outputs("y", sq)
+	return b.C, blasys.Unsigned("y", len(sq))
+}
+
+func subtract(b *blasys.Builder, x, y []blasys.NodeID) []blasys.NodeID {
+	xe := append(append([]blasys.NodeID(nil), x...), b.Const(false))
+	carry := b.Const(true)
+	out := make([]blasys.NodeID, len(xe))
+	for i := range xe {
+		yi := b.Const(true) // inverted sign extension of y
+		if i < len(y) {
+			yi = b.Not(y[i])
+		}
+		axb := b.Xor(xe[i], yi)
+		out[i] = b.Xor(axb, carry)
+		carry = b.Or(b.And(xe[i], yi), b.And(axb, carry))
+	}
+	return out
+}
+
+func addConst(b *blasys.Builder, x []blasys.NodeID, cin blasys.NodeID) []blasys.NodeID {
+	carry := cin
+	out := make([]blasys.NodeID, len(x))
+	for i := range x {
+		out[i] = b.Xor(x[i], carry)
+		carry = b.And(x[i], carry)
+	}
+	return out
+}
+
+func multiply(b *blasys.Builder, x, y []blasys.NodeID) []blasys.NodeID {
+	n, m := len(x), len(y)
+	acc := make([]blasys.NodeID, n+m)
+	for i := range acc {
+		acc[i] = b.Const(false)
+	}
+	for i := 0; i < m; i++ {
+		carry := b.Const(false)
+		for j := 0; j < n; j++ {
+			pp := b.And(x[j], y[i])
+			s1 := b.Xor(acc[i+j], pp)
+			c1 := b.And(acc[i+j], pp)
+			s2 := b.Xor(s1, carry)
+			c2 := b.And(s1, carry)
+			acc[i+j] = s2
+			carry = b.Or(c1, c2)
+		}
+		acc[i+n] = carry
+	}
+	return acc
+}

@@ -1,0 +1,57 @@
+// Quickstart: approximate the paper's 8-bit multiplier benchmark at a 5%
+// average-relative-error budget and print the accuracy/area trade-off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/blasys-go/blasys"
+)
+
+func main() {
+	// Grab a benchmark circuit: the 8x8 array multiplier from the paper's
+	// Table 1 (16 inputs, 16 outputs), along with the output interpretation
+	// (one unsigned 16-bit product) the error metrics need.
+	b := blasys.Mult8()
+
+	// Map the accurate design first, for the baseline numbers.
+	lib := blasys.DefaultLibrary()
+	accurate, err := blasys.Map(b.Circ, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accurate multiplier: %d cells, %.1f um^2\n",
+		accurate.NumCells(), accurate.Area())
+
+	// Run the BLASYS flow: decompose into 10x10 blocks, factorize each
+	// block's truth table at every degree, then greedily approximate
+	// whichever block hurts accuracy the least until 5% error.
+	res, err := blasys.Approximate(b.Circ, b.Spec, blasys.Config{
+		Threshold: 0.05, // 5% average relative error
+		Metric:    blasys.AvgRelative,
+		Samples:   1 << 14, // Monte-Carlo samples during exploration
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d design points across %d blocks\n",
+		len(res.Steps), len(res.Profiles))
+
+	// The chosen design: re-synthesize, map, and report.
+	met, rep, err := res.FinalMetrics(res.BestStep, 1<<18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approximate multiplier: %.1f um^2 (%.1f%% smaller) at %.2f%% avg relative error\n",
+		met.Area, 100*(accurate.Area()-met.Area)/accurate.Area(), 100*rep.AvgRel)
+
+	// Every intermediate point is available for plotting the trade-off.
+	fmt.Println("\nfirst trade-off points (normalized area vs error):")
+	for _, p := range res.Trace()[:6] {
+		fmt.Printf("  step %3d: area %.3f  avg-rel-err %.5f\n", p.Step, p.NormModelArea, p.AvgRel)
+	}
+}

@@ -1,0 +1,292 @@
+// Package bench provides structural generators for the benchmark circuits of
+// the BLASYS paper's Table 1, with exactly matching I/O footprints:
+//
+//	Adder32  32-bit adder                      64 in / 33 out
+//	Mult8    8-bit multiplier                  16 in / 16 out
+//	BUT      butterfly (a+b, a-b)              16 in / 18 out
+//	MAC      8x8 multiply + 32-bit accumulate  48 in / 33 out
+//	SAD      |a-b| + 32-bit accumulate         48 in / 33 out
+//	FIR      4-tap 8-bit FIR filter            64 in / 16 out
+//
+// plus the 4-input/4-output illustrative circuit of the paper's Figure 3
+// (built directly from the truth table printed in the figure).
+//
+// Every generator returns the circuit together with the qor.OutputSpec that
+// gives its outputs numeric meaning (bit groups and signedness), which the
+// error metrics need.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/synth"
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Circuit bundles a benchmark netlist with its output interpretation.
+type Circuit struct {
+	Name string
+	// Function is the short description used in Table 1.
+	Function string
+	Circ     *logic.Circuit
+	Spec     qor.OutputSpec
+	// Seq, when non-nil, requests accumulator-style sequential QoR
+	// evaluation (MAC and SAD): the low 32 sum bits feed back into the
+	// accumulator input each cycle, so approximation error compounds — the
+	// multi-cycle model the paper adopts from ASLAN.
+	Seq *qor.Sequence
+}
+
+// accumulatorFeedback wires sum bits [0,32) back into the 32 accumulator
+// inputs that follow the two 8-bit operands.
+func accumulatorFeedback(steps int) *qor.Sequence {
+	fb := make([][2]int, 32)
+	for i := 0; i < 32; i++ {
+		fb[i] = [2]int{i, 16 + i}
+	}
+	return &qor.Sequence{Steps: steps, Feedback: fb}
+}
+
+// AddCarry appends a ripple-carry adder computing x + y + cin onto the
+// builder and returns the n+1 sum bits (LSB first). x and y must have equal
+// width.
+func AddCarry(b *logic.Builder, x, y []logic.NodeID, cin logic.NodeID) []logic.NodeID {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("bench: AddCarry width mismatch %d vs %d", len(x), len(y)))
+	}
+	carry := cin
+	sums := make([]logic.NodeID, 0, len(x)+1)
+	for i := range x {
+		axb := b.Xor(x[i], y[i])
+		sums = append(sums, b.Xor(axb, carry))
+		carry = b.Or(b.And(x[i], y[i]), b.And(axb, carry))
+	}
+	return append(sums, carry)
+}
+
+// Add returns x + y with n+1 output bits.
+func Add(b *logic.Builder, x, y []logic.NodeID) []logic.NodeID {
+	return AddCarry(b, x, y, b.Const(false))
+}
+
+// Sub returns x - y in two's complement over n+1 bits (MSB is the sign).
+func Sub(b *logic.Builder, x, y []logic.NodeID) []logic.NodeID {
+	// x - y = x + ~y + 1, computed at width n+1 with sign extension.
+	xe := append(append([]logic.NodeID(nil), x...), b.Const(false))
+	ye := make([]logic.NodeID, 0, len(y)+1)
+	for _, v := range y {
+		ye = append(ye, b.Not(v))
+	}
+	ye = append(ye, b.Const(true)) // inverted sign extension of unsigned y
+	s := AddCarry(b, xe, ye, b.Const(true))
+	return s[:len(x)+1] // discard the carry-out beyond the sign
+}
+
+// Mul returns the full product of x and y (len(x)+len(y) bits) using an
+// array multiplier built from carry-save rows.
+func Mul(b *logic.Builder, x, y []logic.NodeID) []logic.NodeID {
+	n, m := len(x), len(y)
+	acc := make([]logic.NodeID, n+m)
+	for i := range acc {
+		acc[i] = b.Const(false)
+	}
+	for i := 0; i < m; i++ {
+		carry := b.Const(false)
+		for j := 0; j < n; j++ {
+			pp := b.And(x[j], y[i])
+			s1 := b.Xor(acc[i+j], pp)
+			c1 := b.And(acc[i+j], pp)
+			s2 := b.Xor(s1, carry)
+			c2 := b.And(s1, carry)
+			acc[i+j] = s2
+			carry = b.Or(c1, c2)
+		}
+		acc[i+n] = carry
+	}
+	return acc
+}
+
+// AbsDiff returns |x - y| over n bits.
+func AbsDiff(b *logic.Builder, x, y []logic.NodeID) []logic.NodeID {
+	d := Sub(b, x, y) // n+1 bits, two's complement
+	sign := d[len(d)-1]
+	// |d| = sign ? -d : d; -d = ~d + 1.
+	inv := make([]logic.NodeID, len(d))
+	for i, v := range d {
+		inv[i] = b.Xor(v, sign) // conditional invert
+	}
+	neg := AddCarry(b, inv, constWords(b, len(inv), 0), sign)
+	return neg[:len(x)] // |x-y| of unsigned n-bit values fits n bits
+}
+
+func constWords(b *logic.Builder, n int, v uint64) []logic.NodeID {
+	out := make([]logic.NodeID, n)
+	for i := range out {
+		out[i] = b.Const(v&(1<<uint(i)) != 0)
+	}
+	return out
+}
+
+// Adder32 builds the 32-bit adder benchmark (64 inputs, 33 outputs).
+func Adder32() Circuit {
+	b := logic.NewBuilder("Adder32")
+	x := b.Inputs("a", 32)
+	y := b.Inputs("b", 32)
+	b.Outputs("s", Add(b, x, y))
+	return Circuit{Name: "Adder32", Function: "32-bit Adder", Circ: b.C,
+		Spec: qor.Unsigned("sum", 33)}
+}
+
+// Mult8 builds the 8-bit multiplier benchmark (16 inputs, 16 outputs).
+func Mult8() Circuit {
+	b := logic.NewBuilder("Mult8")
+	x := b.Inputs("a", 8)
+	y := b.Inputs("b", 8)
+	b.Outputs("p", Mul(b, x, y))
+	return Circuit{Name: "Mult8", Function: "8-bit Multiplier", Circ: b.C,
+		Spec: qor.Unsigned("product", 16)}
+}
+
+// BUT builds the butterfly benchmark (16 inputs, 18 outputs): the radix-2
+// butterfly computes a+b and a-b on 8-bit operands, 9 bits each.
+func BUT() Circuit {
+	b := logic.NewBuilder("BUT")
+	x := b.Inputs("a", 8)
+	y := b.Inputs("b", 8)
+	sum := Add(b, x, y)
+	diff := Sub(b, x, y)
+	b.Outputs("s", sum)
+	b.Outputs("d", diff)
+	sumBits := make([]int, 9)
+	diffBits := make([]int, 9)
+	for i := 0; i < 9; i++ {
+		sumBits[i] = i
+		diffBits[i] = 9 + i
+	}
+	return Circuit{Name: "BUT", Function: "Butterfly Structure", Circ: b.C,
+		Spec: qor.OutputSpec{Groups: []qor.Group{
+			{Name: "sum", Bits: sumBits},
+			{Name: "diff", Bits: diffBits, Signed: true},
+		}}}
+}
+
+// MAC builds the multiply-accumulate benchmark (48 inputs, 33 outputs):
+// acc + a*b with an 8x8 multiplier and 32-bit accumulator.
+func MAC() Circuit {
+	b := logic.NewBuilder("MAC")
+	x := b.Inputs("a", 8)
+	y := b.Inputs("b", 8)
+	acc := b.Inputs("acc", 32)
+	prod := Mul(b, x, y) // 16 bits
+	ext := append(append([]logic.NodeID(nil), prod...), constWords(b, 16, 0)...)
+	b.Outputs("s", Add(b, acc, ext))
+	return Circuit{Name: "MAC", Function: "Multiply and Accumulate with 32-bit Accumulator",
+		Circ: b.C, Spec: qor.Unsigned("mac", 33), Seq: accumulatorFeedback(64)}
+}
+
+// SAD builds the sum-of-absolute-difference benchmark (48 inputs,
+// 33 outputs): acc + |a-b| with 8-bit operands and a 32-bit accumulator.
+func SAD() Circuit {
+	b := logic.NewBuilder("SAD")
+	x := b.Inputs("a", 8)
+	y := b.Inputs("b", 8)
+	acc := b.Inputs("acc", 32)
+	ad := AbsDiff(b, x, y) // 8 bits
+	ext := append(append([]logic.NodeID(nil), ad...), constWords(b, 24, 0)...)
+	b.Outputs("s", Add(b, acc, ext))
+	return Circuit{Name: "SAD", Function: "Sum of Absolute Difference",
+		Circ: b.C, Spec: qor.Unsigned("sad", 33), Seq: accumulatorFeedback(64)}
+}
+
+// FIR builds the 4-tap FIR benchmark (64 inputs, 16 outputs):
+// y = sum_i x_i * c_i over four 8-bit samples and coefficients. The exact
+// sum needs 18 bits; following the paper's 16-output footprint the top 16
+// bits are produced (standard output scaling).
+func FIR() Circuit {
+	b := logic.NewBuilder("FIR")
+	var taps [][]logic.NodeID
+	for i := 0; i < 4; i++ {
+		x := b.Inputs(fmt.Sprintf("x%d_", i), 8)
+		c := b.Inputs(fmt.Sprintf("c%d_", i), 8)
+		taps = append(taps, Mul(b, x, c)) // 16 bits each
+	}
+	s01 := Add(b, taps[0], taps[1]) // 17 bits
+	s23 := Add(b, taps[2], taps[3]) // 17 bits
+	total := Add(b, s01, s23)       // 18 bits
+	b.Outputs("y", total[2:18])     // top 16 of 18
+	return Circuit{Name: "FIR", Function: "4-Tap FIR Filter", Circ: b.C,
+		Spec: qor.Unsigned("y", 16)}
+}
+
+// fig3Rows is the original circuit's truth table from the paper's Figure 3,
+// rows 0000..1111, columns z1 z2 z3 z4 as printed left to right.
+var fig3Rows = [16]string{
+	"0001", "1001", "1011", "1011",
+	"0000", "1000", "1011", "1011",
+	"1010", "1010", "1000", "1000",
+	"1001", "1101", "1110", "1010",
+}
+
+// Fig3Matrix returns the Figure 3 truth table as a 16x4 Boolean matrix
+// (column j = z_{j+1}).
+func Fig3Matrix() *tt.Matrix {
+	M := tt.NewMatrix(16, 4)
+	for r, row := range fig3Rows {
+		for j := 0; j < 4; j++ {
+			if row[j] == '1' {
+				M.Set(r, j, true)
+			}
+		}
+	}
+	return M
+}
+
+// Fig3 builds the paper's illustrative 4-input/4-output circuit by
+// synthesizing the Figure 3 truth table.
+func Fig3() Circuit {
+	M := Fig3Matrix()
+	c, err := synth.CircuitFromMatrix("Fig3", M, synth.Options{Exact: true})
+	if err != nil {
+		panic("bench: Fig3 synthesis failed: " + err.Error())
+	}
+	c.Name = "Fig3"
+	return Circuit{Name: "Fig3", Function: "Figure 3 illustrative circuit", Circ: c,
+		Spec: qor.Unsigned("z", 4)}
+}
+
+// All returns the six Table 1 benchmarks in the paper's order.
+func All() []Circuit {
+	return []Circuit{Adder32(), Mult8(), BUT(), MAC(), SAD(), FIR()}
+}
+
+// ByName returns the named benchmark (case-sensitive, as in Table 1), or an
+// error listing the available names.
+func ByName(name string) (Circuit, error) {
+	switch name {
+	case "Adder32":
+		return Adder32(), nil
+	case "Mult8":
+		return Mult8(), nil
+	case "BUT":
+		return BUT(), nil
+	case "MAC":
+		return MAC(), nil
+	case "SAD":
+		return SAD(), nil
+	case "FIR":
+		return FIR(), nil
+	case "Fig3":
+		return Fig3(), nil
+	}
+	return Circuit{}, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names lists the available benchmark names.
+func Names() []string {
+	n := []string{"Adder32", "Mult8", "BUT", "MAC", "SAD", "FIR", "Fig3"}
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+func TestTable1Footprints(t *testing.T) {
+	cases := []struct {
+		c       Circuit
+		in, out int
+	}{
+		{Adder32(), 64, 33},
+		{Mult8(), 16, 16},
+		{BUT(), 16, 18},
+		{MAC(), 48, 33},
+		{SAD(), 48, 33},
+		{FIR(), 64, 16},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Circ.NumInputs(); got != tc.in {
+			t.Errorf("%s: %d inputs, want %d", tc.c.Name, got, tc.in)
+		}
+		if got := tc.c.Circ.NumOutputs(); got != tc.out {
+			t.Errorf("%s: %d outputs, want %d", tc.c.Name, got, tc.out)
+		}
+		if err := tc.c.Circ.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.c.Name, err)
+		}
+	}
+}
+
+// evalBus drives the circuit with the given per-bus values and returns the
+// outputs as one uint64 (LSB-first over all outputs).
+func evalBus(c *logic.Circuit, buses ...[]uint64) uint64 {
+	in := make([]bool, 0, len(c.Inputs))
+	for _, bus := range buses {
+		width, val := int(bus[0]), bus[1]
+		for i := 0; i < width; i++ {
+			in = append(in, val&(1<<uint(i)) != 0)
+		}
+	}
+	out := c.Eval(in)
+	var y uint64
+	for i, v := range out {
+		if v {
+			y |= 1 << uint(i)
+		}
+	}
+	return y
+}
+
+func bus(width int, val uint64) []uint64 { return []uint64{uint64(width), val} }
+
+func TestAdder32Function(t *testing.T) {
+	c := Adder32().Circ
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := rng.Uint64() & 0xFFFFFFFF
+		b := rng.Uint64() & 0xFFFFFFFF
+		got := evalBus(c, bus(32, a), bus(32, b))
+		if got != a+b {
+			t.Fatalf("add(%d, %d) = %d, want %d", a, b, got, a+b)
+		}
+	}
+}
+
+func TestMult8Function(t *testing.T) {
+	c := Mult8().Circ
+	for a := uint64(0); a < 256; a += 17 {
+		for b := uint64(0); b < 256; b += 13 {
+			got := evalBus(c, bus(8, a), bus(8, b))
+			if got != a*b {
+				t.Fatalf("mul(%d, %d) = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestBUTFunction(t *testing.T) {
+	c := BUT().Circ
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		y := evalBus(c, bus(8, a), bus(8, b))
+		sum := y & 0x1FF
+		diff := (y >> 9) & 0x1FF
+		if sum != a+b {
+			t.Fatalf("but sum(%d,%d) = %d, want %d", a, b, sum, a+b)
+		}
+		wantDiff := (a - b) & 0x1FF // two's complement over 9 bits
+		if diff != wantDiff {
+			t.Fatalf("but diff(%d,%d) = %#x, want %#x", a, b, diff, wantDiff)
+		}
+	}
+}
+
+func TestMACFunction(t *testing.T) {
+	c := MAC().Circ
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		acc := rng.Uint64() & 0xFFFFFFFF
+		got := evalBus(c, bus(8, a), bus(8, b), bus(32, acc))
+		if want := acc + a*b; got != want {
+			t.Fatalf("mac(%d,%d,%d) = %d, want %d", a, b, acc, got, want)
+		}
+	}
+}
+
+func TestSADFunction(t *testing.T) {
+	c := SAD().Circ
+	rng := rand.New(rand.NewSource(4))
+	abs := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	for i := 0; i < 200; i++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		acc := rng.Uint64() & 0xFFFFFFFF
+		got := evalBus(c, bus(8, a), bus(8, b), bus(32, acc))
+		if want := acc + abs(a, b); got != want {
+			t.Fatalf("sad(%d,%d,%d) = %d, want %d", a, b, acc, got, want)
+		}
+	}
+}
+
+func TestFIRFunction(t *testing.T) {
+	c := FIR().Circ
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		var buses [][]uint64
+		var want uint64
+		for tap := 0; tap < 4; tap++ {
+			x := rng.Uint64() & 0xFF
+			co := rng.Uint64() & 0xFF
+			buses = append(buses, bus(8, x), bus(8, co))
+			want += x * co
+		}
+		got := evalBus(c, buses...)
+		if got != want>>2 {
+			t.Fatalf("fir = %d, want %d (full sum %d)", got, want>>2, want)
+		}
+	}
+}
+
+func TestFig3MatchesPaperTable(t *testing.T) {
+	c := Fig3()
+	if c.Circ.NumInputs() != 4 || c.Circ.NumOutputs() != 4 {
+		t.Fatalf("Fig3 I/O = %d/%d", c.Circ.NumInputs(), c.Circ.NumOutputs())
+	}
+	M := Fig3Matrix()
+	got := c.Circ.TruthMatrix()
+	if !got.Equal(M) {
+		t.Fatalf("Fig3 circuit truth table differs from the paper's:\nwant:\n%v\ngot:\n%v", M, got)
+	}
+	// Spot-check against the printed figure: row 0000 -> 0001 means
+	// z1..z3 = 0 and z4 = 1.
+	if M.Get(0, 0) || M.Get(0, 1) || M.Get(0, 2) || !M.Get(0, 3) {
+		t.Error("row 0 decoded wrong")
+	}
+	// Row 1101 (r=13): printed 1101 -> z1=1 z2=1 z3=0 z4=1.
+	if !M.Get(13, 0) || !M.Get(13, 1) || M.Get(13, 2) || !M.Get(13, 3) {
+		t.Error("row 13 decoded wrong")
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	if len(All()) != 6 {
+		t.Errorf("All() returned %d benchmarks, want 6", len(All()))
+	}
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("ByName(%q) returned %q", name, c.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestSpecsCoverAllOutputs(t *testing.T) {
+	for _, c := range All() {
+		seen := make(map[int]bool)
+		for _, g := range c.Spec.Groups {
+			for _, b := range g.Bits {
+				if b < 0 || b >= c.Circ.NumOutputs() {
+					t.Errorf("%s: spec bit %d out of range", c.Name, b)
+				}
+				if seen[b] {
+					t.Errorf("%s: spec bit %d repeated", c.Name, b)
+				}
+				seen[b] = true
+			}
+		}
+		if len(seen) != c.Circ.NumOutputs() {
+			t.Errorf("%s: spec covers %d of %d outputs", c.Name, len(seen), c.Circ.NumOutputs())
+		}
+	}
+}

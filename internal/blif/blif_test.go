@@ -1,0 +1,155 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+func randomCircuit(rng *rand.Rand, nin, ngates, nout int) *logic.Circuit {
+	b := logic.NewBuilder("rand")
+	ids := b.Inputs("i", nin)
+	ops := []logic.Op{logic.And, logic.Or, logic.Xor, logic.Nand, logic.Nor, logic.Xnor, logic.Not, logic.Mux}
+	for g := 0; g < ngates; g++ {
+		op := ops[rng.Intn(len(ops))]
+		pick := func() logic.NodeID { return ids[rng.Intn(len(ids))] }
+		var id logic.NodeID
+		switch op.Arity() {
+		case 1:
+			id = b.Gate(op, pick())
+		case 2:
+			id = b.Gate(op, pick(), pick())
+		case 3:
+			id = b.Gate(op, pick(), pick(), pick())
+		}
+		ids = append(ids, id)
+	}
+	for o := 0; o < nout; o++ {
+		b.Output("", ids[nin+rng.Intn(ngates)])
+	}
+	return b.C
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		orig := randomCircuit(rng, 3+rng.Intn(6), 5+rng.Intn(60), 1+rng.Intn(5))
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if len(back.Inputs) != len(orig.Inputs) || len(back.Outputs) != len(orig.Outputs) {
+			t.Fatalf("trial %d: I/O mismatch", trial)
+		}
+		simA, simB := logic.NewSimulator(orig), logic.NewSimulator(back)
+		in := make([]uint64, len(orig.Inputs))
+		outA := make([]uint64, len(orig.Outputs))
+		outB := make([]uint64, len(orig.Outputs))
+		for batch := 0; batch < 4; batch++ {
+			logic.RandomInputWords(rng, in)
+			simA.Run(in, outA)
+			simB.Run(in, outB)
+			for o := range outA {
+				if outA[o] != outB[o] {
+					t.Fatalf("trial %d: round trip changed function at output %d", trial, o)
+				}
+			}
+		}
+	}
+}
+
+func TestReadHandWritten(t *testing.T) {
+	src := `
+# full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b axb
+10 1
+01 1
+.names axb cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "fa" || len(c.Inputs) != 3 || len(c.Outputs) != 2 {
+		t.Fatalf("parsed %s with %d/%d I/O", c.Name, len(c.Inputs), len(c.Outputs))
+	}
+	for v := uint64(0); v < 8; v++ {
+		sum := (v&1 + v>>1&1 + v>>2&1)
+		got := c.EvalUint(v)
+		if got != sum {
+			t.Errorf("fa(%03b) = %02b, want %02b", v, got, sum)
+		}
+	}
+}
+
+func TestReadConstantsAndComplementedCover(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero nota
+.names one
+1
+.names zero
+.names a nota
+1 0
+.end
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.EvalUint(0)
+	if got&1 != 1 || got>>1&1 != 0 || got>>2&1 != 1 {
+		t.Errorf("consts(0) = %03b", got)
+	}
+	got = c.EvalUint(1)
+	if got>>2&1 != 0 {
+		t.Errorf("nota(1) = %d, want 0", got>>2&1)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"latch":     ".model m\n.inputs a\n.outputs q\n.latch a q\n.end",
+		"undefined": ".model m\n.inputs a\n.outputs y\n.end",
+		"cycle":     ".model m\n.inputs a\n.outputs y\n.names y2 y\n1 1\n.names y y2\n1 1\n.end",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(rng, 4, 20, 3)
+	path := t.TempDir() + "/c.blif"
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Outputs) != 3 {
+		t.Errorf("read %d outputs", len(back.Outputs))
+	}
+}

@@ -1,0 +1,348 @@
+// Package bmf implements Boolean matrix factorization, the mathematical core
+// of BLASYS (Hashemi, Tann, Reda — DAC 2018).
+//
+// Given a Boolean matrix M (n rows, m columns) and a factorization degree
+// f < m, Factorize finds B (n x f) and C (f x m) such that the Boolean
+// product B∘C approximates M. Under the OR semiring (the paper's default,
+// "semi-ring implementation") the product is out[r][j] = OR_i B[r][i]∧C[i][j];
+// under the GF(2) field variant OR becomes XOR.
+//
+// The base algorithm is ASSO (Miettinen et al.): candidate basis rows are
+// derived from pairwise column association confidences, then greedily
+// selected together with their usage columns to maximize a cover function.
+// Following Section 3.2 of the BLASYS paper, the cover function supports
+// per-column weights so mismatches in high-significance output bits cost
+// more than low-bit mismatches ("weighted QoR").
+//
+// On top of ASSO, Factorize optionally runs an exact per-row refinement: with
+// C fixed, the optimal usage row B[r] is found by enumerating all 2^f
+// OR-combinations of C's rows (f ≤ MaxDegree ⇒ at most 2^12 candidates,
+// computed once and shared across rows). This never increases the weighted
+// error and substantially improves the greedy solution.
+package bmf
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Semiring selects the Boolean algebra for the factorization product and for
+// the synthesized decompressor gates.
+type Semiring int
+
+const (
+	// Or is the Boolean semiring: addition is logical OR. Decompressors
+	// synthesize to OR gates. This is the paper's default.
+	Or Semiring = iota
+	// Xor is the GF(2) field: addition is XOR. Decompressors synthesize to
+	// XOR gates.
+	Xor
+)
+
+func (s Semiring) String() string {
+	switch s {
+	case Or:
+		return "or"
+	case Xor:
+		return "xor"
+	}
+	return fmt.Sprintf("semiring(%d)", int(s))
+}
+
+// Product computes the matrix product under the semiring.
+func (s Semiring) Product(B, C *tt.Matrix) *tt.Matrix {
+	if s == Xor {
+		return tt.BoolProductXOR(B, C)
+	}
+	return tt.BoolProductOR(B, C)
+}
+
+// MaxDegree bounds the factorization degree supported by the exact
+// refinement enumeration (2^MaxDegree combinations are precomputed).
+const MaxDegree = 12
+
+// Options configures Factorize. The zero value selects sensible defaults:
+// OR semiring, uniform column weights, the standard ASSO threshold sweep,
+// cover weights w+ = w- = 1, and exact row refinement enabled.
+type Options struct {
+	// Semiring selects OR (default) or XOR accumulation.
+	Semiring Semiring
+
+	// ColWeights holds one weight per column of M; nil means uniform.
+	// Use tt.PowerOfTwoWeights for the paper's numeric-significance
+	// weighting (WQoR).
+	ColWeights []float64
+
+	// TauSweep lists association-confidence thresholds to try; the
+	// factorization with the lowest weighted error wins. Nil uses
+	// DefaultTauSweep. This implements the paper's "sweep on the
+	// factorization threshold".
+	TauSweep []float64
+
+	// WPlus and WMinus are ASSO's cover bonuses/penalties for covering a
+	// 1-entry and erroneously covering a 0-entry. Zero values mean 1.
+	WPlus, WMinus float64
+
+	// SkipRefine disables the exact per-row refinement pass.
+	SkipRefine bool
+}
+
+// DefaultTauSweep is the association threshold sweep used when
+// Options.TauSweep is nil.
+var DefaultTauSweep = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Result carries a factorization and its error against the input matrix.
+type Result struct {
+	B, C *tt.Matrix
+	// Hamming is the unweighted count of mismatched entries.
+	Hamming int
+	// WeightedError is the column-weighted mismatch sum (equals Hamming
+	// under uniform weights).
+	WeightedError float64
+	// Tau is the association threshold that produced this result.
+	Tau float64
+}
+
+// Factorize computes an f-degree Boolean factorization of M.
+// f must satisfy 1 <= f <= min(M.Cols, MaxDegree).
+func Factorize(M *tt.Matrix, f int, opt Options) (*Result, error) {
+	if M == nil || M.Rows == 0 || M.Cols == 0 {
+		return nil, fmt.Errorf("bmf: empty matrix")
+	}
+	if f < 1 || f > M.Cols || f > MaxDegree {
+		return nil, fmt.Errorf("bmf: degree f=%d out of range [1, min(%d, %d)]", f, M.Cols, MaxDegree)
+	}
+	weights := opt.ColWeights
+	if weights == nil {
+		weights = tt.UniformWeights(M.Cols)
+	}
+	if len(weights) != M.Cols {
+		return nil, fmt.Errorf("bmf: %d column weights for %d columns", len(weights), M.Cols)
+	}
+	wplus, wminus := opt.WPlus, opt.WMinus
+	if wplus == 0 {
+		wplus = 1
+	}
+	if wminus == 0 {
+		wminus = 1
+	}
+	sweep := opt.TauSweep
+	if sweep == nil {
+		sweep = DefaultTauSweep
+	}
+
+	var best *Result
+	for _, tau := range sweep {
+		B, C := asso(M, f, tau, wplus, wminus, weights, opt.Semiring)
+		if !opt.SkipRefine {
+			refineRows(M, B, C, weights, opt.Semiring)
+		}
+		res := score(M, B, C, weights, opt.Semiring)
+		res.Tau = tau
+		if best == nil || res.WeightedError < best.WeightedError ||
+			(res.WeightedError == best.WeightedError && res.Hamming < best.Hamming) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// score computes the error metrics of a candidate factorization.
+func score(M, B, C *tt.Matrix, weights []float64, sr Semiring) *Result {
+	prod := sr.Product(B, C)
+	return &Result{
+		B:             B,
+		C:             C,
+		Hamming:       tt.HammingDistance(M, prod),
+		WeightedError: tt.WeightedHamming(M, prod, weights),
+	}
+}
+
+// asso is the greedy ASSO algorithm with weighted cover. It returns the
+// usage matrix B (n x f) and basis matrix C (f x m).
+func asso(M *tt.Matrix, f int, tau, wplus, wminus float64, weights []float64, sr Semiring) (B, C *tt.Matrix) {
+	n, m := M.Rows, M.Cols
+	cand := associationRows(M, tau)
+	// Also offer the m unit rows as candidates so ASSO can always fall
+	// back to reproducing single columns exactly.
+	for j := 0; j < m; j++ {
+		cand = append(cand, uint64(1)<<uint(j))
+	}
+	cand = dedupe(cand)
+
+	B = tt.NewMatrix(n, f)
+	C = tt.NewMatrix(f, m)
+	// covered[r] = current OR of selected basis rows used by row r
+	// (OR semiring greedy; the XOR variant reuses the same greedy seed and
+	// relies on refinement for field-accurate usage).
+	covered := make([]uint64, n)
+
+	for i := 0; i < f; i++ {
+		bestGain := math.Inf(-1)
+		var bestRow uint64
+		var bestUse []bool
+		for _, c := range cand {
+			gain, use := coverGain(M, covered, c, wplus, wminus, weights)
+			if gain > bestGain {
+				bestGain = gain
+				bestRow = c
+				bestUse = use
+			}
+		}
+		if bestUse == nil {
+			break // no candidate improves anything; leave remaining rows zero
+		}
+		C.Row[i] = bestRow
+		for r := 0; r < n; r++ {
+			if bestUse[r] {
+				B.Set(r, i, true)
+				covered[r] |= bestRow
+			}
+		}
+	}
+	return B, C
+}
+
+// coverGain evaluates adding basis row c: for every matrix row r it decides
+// whether using c improves the weighted cover, returning the total gain and
+// the per-row usage decisions.
+func coverGain(M *tt.Matrix, covered []uint64, c uint64, wplus, wminus float64, weights []float64) (float64, []bool) {
+	use := make([]bool, M.Rows)
+	total := 0.0
+	for r := 0; r < M.Rows; r++ {
+		newly := c &^ covered[r] // bits this basis row would newly set
+		if newly == 0 {
+			continue
+		}
+		good := newly & M.Row[r] // newly covered 1s
+		bad := newly &^ M.Row[r] // newly covered 0s (overcover)
+		g := wplus*weightSum(good, weights) - wminus*weightSum(bad, weights)
+		if g > 0 {
+			use[r] = true
+			total += g
+		}
+	}
+	return total, use
+}
+
+func weightSum(w uint64, weights []float64) float64 {
+	s := 0.0
+	for w != 0 {
+		j := bits.TrailingZeros64(w)
+		s += weights[j]
+		w &= w - 1
+	}
+	return s
+}
+
+// associationRows builds the ASSO candidate set: row j of the association
+// matrix has bit l set iff conf(j -> l) = |col_j AND col_l| / |col_j| >= tau.
+func associationRows(M *tt.Matrix, tau float64) []uint64 {
+	m := M.Cols
+	colOnes := make([]int, m)
+	inter := make([][]int, m)
+	for j := range inter {
+		inter[j] = make([]int, m)
+	}
+	for r := 0; r < M.Rows; r++ {
+		row := M.Row[r]
+		w := row
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			colOnes[j]++
+			v := row
+			for v != 0 {
+				l := bits.TrailingZeros64(v)
+				inter[j][l]++
+				v &= v - 1
+			}
+			w &= w - 1
+		}
+	}
+	rows := make([]uint64, 0, m)
+	for j := 0; j < m; j++ {
+		if colOnes[j] == 0 {
+			continue
+		}
+		var row uint64
+		for l := 0; l < m; l++ {
+			if float64(inter[j][l]) >= tau*float64(colOnes[j]) {
+				row |= 1 << uint(l)
+			}
+		}
+		if row != 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func dedupe(xs []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// refineRows replaces each row of B with the exactly optimal usage
+// combination for the fixed basis C under the given semiring and weights.
+// All 2^f combination values are precomputed once.
+func refineRows(M, B, C *tt.Matrix, weights []float64, sr Semiring) {
+	f := C.Rows
+	combos := make([]uint64, 1<<uint(f))
+	for s := 1; s < len(combos); s++ {
+		low := bits.TrailingZeros64(uint64(s))
+		rest := combos[s&^(1<<uint(low))]
+		if sr == Xor {
+			combos[s] = rest ^ C.Row[low]
+		} else {
+			combos[s] = rest | C.Row[low]
+		}
+	}
+	// Precompute weighted popcount per candidate diff lazily per row.
+	for r := 0; r < M.Rows; r++ {
+		target := M.Row[r]
+		bestS, bestErr := 0, math.Inf(1)
+		for s := range combos {
+			d := combos[s] ^ target
+			if d == 0 {
+				bestS, bestErr = s, 0
+				break
+			}
+			e := weightSum(d, weights)
+			if e < bestErr {
+				bestS, bestErr = s, e
+			}
+		}
+		B.Row[r] = uint64(bestS)
+	}
+}
+
+// FactorizeAllDegrees factorizes M at every degree from 1 to maxF and
+// returns the results indexed by f-1. It is the profiling primitive used by
+// Algorithm 1 (lines 3–10).
+func FactorizeAllDegrees(M *tt.Matrix, maxF int, opt Options) ([]*Result, error) {
+	if maxF > M.Cols {
+		maxF = M.Cols
+	}
+	if maxF > MaxDegree {
+		maxF = MaxDegree
+	}
+	out := make([]*Result, maxF)
+	for f := 1; f <= maxF; f++ {
+		res, err := Factorize(M, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[f-1] = res
+	}
+	return out, nil
+}

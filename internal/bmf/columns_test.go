@@ -1,0 +1,134 @@
+package bmf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+func TestFactorizeColumnsShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	M := randomMatrix(rng, 64, 8, 0.5)
+	for f := 1; f <= 8; f++ {
+		res, err := FactorizeColumns(M, f, Options{})
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		if len(res.Columns) != f {
+			t.Errorf("f=%d: %d columns selected", f, len(res.Columns))
+		}
+		if res.B.Cols != f || res.C.Rows != f || res.C.Cols != 8 {
+			t.Errorf("f=%d: B %dx%d, C %dx%d", f, res.B.Rows, res.B.Cols, res.C.Rows, res.C.Cols)
+		}
+		// B's columns must be exact copies of the selected M columns.
+		for i, j := range res.Columns {
+			if !res.B.Column(i).Equal(M.Column(j)) {
+				t.Errorf("f=%d: B column %d is not M column %d", f, i, j)
+			}
+		}
+	}
+}
+
+func TestFactorizeColumnsFullDegreeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		cols := 2 + rng.Intn(8)
+		M := randomMatrix(rng, 1+rng.Intn(200), cols, rng.Float64())
+		res, err := FactorizeColumns(M, cols, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hamming != 0 {
+			t.Errorf("trial %d: f=m column factorization has error %d", trial, res.Hamming)
+		}
+	}
+}
+
+func TestFactorizeColumnsErrorMatchesProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 2 + rng.Intn(8)
+		M := randomMatrix(rng, 1+rng.Intn(100), cols, rng.Float64())
+		deg := 1 + rng.Intn(cols)
+		res, err := FactorizeColumns(M, deg, Options{})
+		if err != nil {
+			return false
+		}
+		prod := tt.BoolProductOR(res.B, res.C)
+		return tt.HammingDistance(M, prod) == res.Hamming
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorizeColumnsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		M := randomMatrix(rng, 128, 8, 0.4)
+		prev := -1
+		for f := 1; f <= 8; f++ {
+			res, err := FactorizeColumns(M, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && res.Hamming > prev {
+				t.Errorf("trial %d: error rose from %d to %d at f=%d", trial, prev, res.Hamming, f)
+			}
+			prev = res.Hamming
+		}
+	}
+}
+
+func TestFactorizeColumnsXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	M := randomMatrix(rng, 64, 6, 0.5)
+	res, err := FactorizeColumns(M, 3, Options{Semiring: Xor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := tt.BoolProductXOR(res.B, res.C)
+	if got := tt.HammingDistance(M, prod); got != res.Hamming {
+		t.Errorf("XOR error mismatch: %d != %d", res.Hamming, got)
+	}
+}
+
+func TestFactorizeColumnsWeighted(t *testing.T) {
+	// With a crushing weight on column 7, the selection must reproduce
+	// column 7 exactly even at f=1.
+	rng := rand.New(rand.NewSource(5))
+	M := randomMatrix(rng, 256, 8, 0.5)
+	w := tt.UniformWeights(8)
+	w[7] = 1e9
+	res, err := FactorizeColumns(M, 1, Options{ColWeights: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := tt.BoolProductOR(res.B, res.C)
+	if !prod.Column(7).Equal(M.Column(7)) {
+		t.Error("heavily weighted column not reproduced exactly at f=1")
+	}
+}
+
+func TestFactorizeColumnsASSOComparableOrBetterArea(t *testing.T) {
+	// Column basis generally has more error than unrestricted ASSO at the
+	// same degree, never less than zero; sanity: both stay <= all-zeros
+	// error.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		M := randomMatrix(rng, 128, 6, 0.5)
+		colRes, err := FactorizeColumns(M, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assoRes, err := Factorize(M, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if colRes.Hamming > M.CountOnes() || assoRes.Hamming > M.CountOnes() {
+			t.Error("factorization worse than the zero matrix")
+		}
+	}
+}

@@ -1,0 +1,759 @@
+// Package core implements the BLASYS flow of Hashemi, Tann & Reda (DAC'18):
+// Algorithm 1 of the paper, end to end.
+//
+//  1. The input circuit is swept, reordered depth-first, and decomposed into
+//     k×m blocks (internal/partition).
+//  2. Profiling (Alg. 1, lines 3–10): every block's truth table is
+//     factorized at every degree f = 1..m_i-1 (internal/bmf), each
+//     factorization is synthesized into a compressor/decompressor netlist
+//     (internal/synth), and technology-mapped for its area (internal/techmap).
+//  3. Exploration (Alg. 1, lines 12–22): starting from the accurate circuit,
+//     greedily decrement the factorization degree of whichever block hurts
+//     whole-circuit QoR the least, re-estimating QoR by Monte-Carlo
+//     simulation of the complete substituted circuit (internal/qor).
+//
+// The full exploration trace is recorded so callers can reproduce the
+// paper's trade-off curves (Figs. 4 and 5) as well as the threshold tables
+// (Tables 2 and 3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/partition"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/synth"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Config controls the BLASYS flow. The zero value is completed by
+// (*Config).withDefaults: k = m = 10 (the paper's choice), average relative
+// error metric, 5% threshold, 2^16 exploration samples, OR semiring,
+// weighted QoR off.
+type Config struct {
+	// K and M bound block inputs and outputs (paper: 10 and 10).
+	K, M int
+	// Metric drives exploration and the threshold.
+	Metric qor.Metric
+	// Threshold is the QoR budget (e.g. 0.05 for 5% average relative
+	// error).
+	Threshold float64
+	// Samples is the Monte-Carlo sample count used during exploration.
+	Samples int
+	// Seed makes the whole flow deterministic.
+	Seed int64
+	// Weighted enables the paper's weighted-QoR factorization (§3.2):
+	// block-output columns are weighted by their influence on significant
+	// primary-output bits instead of uniformly.
+	Weighted bool
+	// Semiring selects OR (paper default) or XOR decompressors.
+	Semiring bmf.Semiring
+	// TauSweep overrides the ASSO threshold sweep (nil = default).
+	TauSweep []float64
+	// Lib is the technology library for area modeling (nil = default 65nm).
+	Lib *techmap.Library
+	// ExploreFully continues past the threshold until every block reaches
+	// degree 1, recording the full trade-off curve.
+	ExploreFully bool
+	// MaxSteps caps exploration iterations (0 = unlimited).
+	MaxSteps int
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+	// SynthExact uses exact two-level minimization for block synthesis.
+	SynthExact bool
+	// Basis selects the factor family; see the Basis constants.
+	Basis Basis
+	// Sequence, when non-nil, evaluates QoR with accumulator feedback
+	// (multi-cycle error, used for MAC/SAD).
+	Sequence *qor.Sequence
+	// Lazy switches the exploration to lazy greedy: candidate errors are
+	// cached and only the currently-smallest stale estimate is
+	// re-evaluated. Because decrementing one block never decreases another
+	// candidate's error (errors are monotone in the approximation level),
+	// the committed block is the same argmin the exhaustive sweep finds in
+	// the common case, at a fraction of the simulations. Default off
+	// (paper-literal exhaustive re-evaluation).
+	Lazy bool
+}
+
+// Basis selects the BMF family used for block variants.
+type Basis int
+
+const (
+	// BasisColumns (default) restricts B to subsets of the block's own
+	// output columns (bmf.FactorizeColumns) so the compressor reuses the
+	// accurate block's logic and area shrinks monotonically with f. This
+	// compensates for this reproduction's from-scratch (two-level +
+	// Shannon) resynthesis being far weaker than the industrial multi-level
+	// flow the paper drives, which otherwise inflates compressor logic.
+	BasisColumns Basis = iota
+	// BasisASSO uses the paper's unrestricted ASSO factorization with
+	// truth-table resynthesis of the compressor.
+	BasisASSO
+)
+
+func (b Basis) String() string {
+	switch b {
+	case BasisColumns:
+		return "columns"
+	case BasisASSO:
+		return "asso"
+	}
+	return fmt.Sprintf("basis(%d)", int(b))
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.M == 0 {
+		c.M = 10
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.Samples == 0 {
+		c.Samples = 1 << 16
+	}
+	if c.Lib == nil {
+		c.Lib = techmap.DefaultLibrary()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Variant is one profiled approximation of a block: its factorization and
+// the synthesized, mapped implementation.
+type Variant struct {
+	F             int
+	Hamming       int
+	WeightedError float64
+	Impl          *logic.Circuit
+	MappedArea    float64
+}
+
+// BlockProfile carries a block's accurate implementation and its
+// approximate variants, indexed by degree (Variants[f-1] has degree f).
+type BlockProfile struct {
+	Block        partition.Block
+	AccurateImpl *logic.Circuit
+	AccurateArea float64
+	Variants     []*Variant
+}
+
+// MaxDegree is the accurate "degree" of the block: its output count.
+func (p *BlockProfile) MaxDegree() int { return len(p.Block.Outputs) }
+
+// Step records one exploration commit: block's degree decremented, with the
+// whole-circuit QoR and the modeled area after the commit.
+type Step struct {
+	BlockIndex int
+	NewDegree  int
+	Report     qor.Report
+	// ModelArea is the paper's exploration-time area model: the sum of the
+	// (approximated) blocks' mapped areas.
+	ModelArea float64
+}
+
+// Result is the output of Approximate.
+type Result struct {
+	Config   Config
+	Circuit  *logic.Circuit // prepared (swept + reordered) accurate circuit
+	Spec     qor.OutputSpec
+	Profiles []*BlockProfile
+	Steps    []Step
+	// AccurateModelArea is the sum of accurate block areas (the model's
+	// area at step -1).
+	AccurateModelArea float64
+	// BestStep indexes the step chosen under the threshold (-1 if even the
+	// first step exceeded it, meaning the accurate circuit is returned).
+	BestStep int
+}
+
+// Approximate runs the complete BLASYS flow.
+func Approximate(c *logic.Circuit, spec qor.OutputSpec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input circuit invalid: %w", err)
+	}
+	prepared := logic.ReorderDFS(c)
+	blocks, err := partition.Decompose(prepared, partition.Options{
+		MaxInputs: cfg.K, MaxOutputs: cfg.M,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Circuit: prepared, Spec: spec, BestStep: -1}
+
+	weights := blockOutputWeights(prepared, blocks, spec, cfg.Weighted)
+	res.Profiles, err = profileBlocks(prepared, blocks, weights, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range res.Profiles {
+		res.AccurateModelArea += p.AccurateArea
+	}
+
+	eval, err := qor.NewComparer(prepared, spec, cfg.Sequence, cfg.Samples, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := explore(res, eval, cfg); err != nil {
+		return nil, err
+	}
+	res.selectBest()
+	return res, nil
+}
+
+// blockOutputWeights computes, per block, the column weights for weighted
+// QoR factorization. Each block output is weighted by the summed
+// significance of the primary-output bits it can reach (significance of bit
+// b within a w-bit group is 2^b / 2^(w-1)); this generalizes the paper's
+// power-of-two output weighting to internal nets. Uniform (nil) weights are
+// returned when weighting is disabled or the circuit has more than 64
+// primary outputs.
+func blockOutputWeights(c *logic.Circuit, blocks []partition.Block, spec qor.OutputSpec, enabled bool) [][]float64 {
+	out := make([][]float64, len(blocks))
+	if !enabled || len(c.Outputs) > 64 {
+		return out
+	}
+	sig := make([]float64, len(c.Outputs))
+	for _, g := range spec.Groups {
+		w := len(g.Bits)
+		for j, bit := range g.Bits {
+			sig[bit] = math.Ldexp(1, j) / math.Ldexp(1, w-1)
+		}
+	}
+	// reach[node] = bitmask of primary outputs reachable from node.
+	reach := make([]uint64, len(c.Nodes))
+	for oi, o := range c.Outputs {
+		reach[o] |= 1 << uint(oi)
+	}
+	for i := len(c.Nodes) - 1; i >= 0; i-- {
+		r := reach[i]
+		if r == 0 {
+			continue
+		}
+		for _, f := range c.Nodes[i].Fanins() {
+			reach[f] |= r
+		}
+	}
+	for bi, b := range blocks {
+		ws := make([]float64, len(b.Outputs))
+		for j, node := range b.Outputs {
+			w := 0.0
+			for r := reach[node]; r != 0; r &= r - 1 {
+				oi := trailingZeros(r)
+				w += sig[oi]
+			}
+			if w <= 0 {
+				w = 1.0 / math.Ldexp(1, 20) // unreachable: negligible weight
+			}
+			ws[j] = w
+		}
+		// Normalize so the smallest weight is 1 (keeps ASSO's gain scale
+		// comparable to the uniform case).
+		min := math.Inf(1)
+		for _, w := range ws {
+			if w < min {
+				min = w
+			}
+		}
+		for j := range ws {
+			ws[j] /= min
+		}
+		out[bi] = ws
+	}
+	return out
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// profileBlocks runs Alg. 1's profiling phase in parallel across blocks.
+func profileBlocks(c *logic.Circuit, blocks []partition.Block, weights [][]float64, cfg Config) ([]*BlockProfile, error) {
+	profiles := make([]*BlockProfile, len(blocks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	errs := make([]error, len(blocks))
+	for bi := range blocks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(bi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			profiles[bi], errs[bi] = profileBlock(c, blocks[bi], weights[bi], cfg)
+		}(bi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return profiles, nil
+}
+
+func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg Config) (*BlockProfile, error) {
+	impl, err := partition.Extract(c, b)
+	if err != nil {
+		return nil, err
+	}
+	p := &BlockProfile{Block: b, AccurateImpl: impl}
+	mapped, err := techmap.Map(impl, cfg.Lib)
+	if err != nil {
+		return nil, err
+	}
+	p.AccurateArea = mapped.Area()
+
+	mi := len(b.Outputs)
+	ki := len(b.Inputs)
+	if mi < 2 || ki == 0 || ki > 16 {
+		return p, nil // nothing to factorize (or block degenerate)
+	}
+	M, err := partition.TruthMatrix(c, b)
+	if err != nil {
+		return nil, err
+	}
+	maxF := mi - 1
+	if maxF > bmf.MaxDegree {
+		maxF = bmf.MaxDegree
+	}
+	opts := bmf.Options{
+		Semiring:   cfg.Semiring,
+		ColWeights: colWeights,
+		TauSweep:   cfg.TauSweep,
+	}
+	synthOpts := synth.Options{Exact: cfg.SynthExact}
+	for f := 1; f <= maxF; f++ {
+		name := fmt.Sprintf("%s_b%d_f%d", c.Name, len(b.Gates), f)
+		var (
+			blkImpl *logic.Circuit
+			hamming int
+			werr    float64
+		)
+		switch cfg.Basis {
+		case BasisASSO:
+			fr, err := bmf.Factorize(M, f, opts)
+			if err != nil {
+				return nil, err
+			}
+			blkImpl, err = synth.ApproxBlock(name, fr, cfg.Semiring, synthOpts)
+			if err != nil {
+				return nil, err
+			}
+			hamming, werr = fr.Hamming, fr.WeightedError
+		default: // BasisColumns
+			fr, err := bmf.FactorizeColumns(M, f, opts)
+			if err != nil {
+				return nil, err
+			}
+			blkImpl, err = synth.ApproxBlockStructural(name, impl, fr, cfg.Semiring)
+			if err != nil {
+				return nil, err
+			}
+			hamming, werr = fr.Hamming, fr.WeightedError
+		}
+		blkMapped, err := techmap.Map(blkImpl, cfg.Lib)
+		if err != nil {
+			return nil, err
+		}
+		p.Variants = append(p.Variants, &Variant{
+			F:             f,
+			Hamming:       hamming,
+			WeightedError: werr,
+			Impl:          blkImpl,
+			MappedArea:    blkMapped.Area(),
+		})
+	}
+	return p, nil
+}
+
+// explore is Alg. 1's circuit-space exploration (lines 12–22).
+func explore(res *Result, eval qor.Comparer, cfg Config) error {
+	if cfg.Lazy {
+		return exploreLazy(res, eval, cfg)
+	}
+	return exploreExhaustive(res, eval, cfg)
+}
+
+// exploreLazy is the lazy-greedy variant: each candidate (block at its next
+// degree) keeps the error measured the last time it was evaluated; only the
+// smallest stale estimate is re-measured before committing.
+func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
+	nBlocks := len(res.Profiles)
+	degrees := make([]int, nBlocks)
+	for bi, p := range res.Profiles {
+		degrees[bi] = p.MaxDegree()
+	}
+	type cand struct {
+		bi      int
+		err     float64
+		report  qor.Report
+		version int // state version the estimate was computed at
+	}
+	version := 0
+	var cands []*cand
+	for bi, p := range res.Profiles {
+		if p.MaxDegree()-1 >= 1 && len(p.Variants) >= p.MaxDegree()-1 {
+			cands = append(cands, &cand{bi: bi, err: -1, version: -1})
+		}
+	}
+	measure := func(batch []*cand) error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(batch))
+		sem := make(chan struct{}, cfg.Parallelism)
+		for i, cd := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, cd *cand) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				trial := append([]int(nil), degrees...)
+				trial[cd.bi]--
+				circ, err := res.buildCircuit(trial)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				cd.report, errs[i] = eval.Compare(circ)
+				cd.err = cd.report.Value(cfg.Metric)
+				cd.version = version
+			}(i, cd)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+		// Drop exhausted candidates.
+		live := cands[:0]
+		for _, cd := range cands {
+			if next := degrees[cd.bi] - 1; next >= 1 && next <= len(res.Profiles[cd.bi].Variants) {
+				live = append(live, cd)
+			}
+		}
+		cands = live
+		if len(cands) == 0 {
+			break
+		}
+		var chosen *cand
+		for {
+			sort.Slice(cands, func(i, j int) bool {
+				if (cands[i].version == version) != (cands[j].version == version) {
+					// Prefer fresh entries on ties so the loop terminates.
+					return cands[i].err < cands[j].err
+				}
+				return cands[i].err < cands[j].err
+			})
+			if cands[0].version == version {
+				chosen = cands[0]
+				break
+			}
+			// Refresh the most promising stale candidates in one batch.
+			var stale []*cand
+			for _, cd := range cands {
+				if cd.version != version {
+					stale = append(stale, cd)
+					if len(stale) == cfg.Parallelism {
+						break
+					}
+				}
+			}
+			if err := measure(stale); err != nil {
+				return err
+			}
+		}
+		degrees[chosen.bi]--
+		version++
+		res.Steps = append(res.Steps, Step{
+			BlockIndex: chosen.bi,
+			NewDegree:  degrees[chosen.bi],
+			Report:     chosen.report,
+			ModelArea:  res.modelArea(degrees),
+		})
+		// The committed block's next decrement inherits the fresh report as
+		// an optimistic estimate; everything else keeps its old estimate.
+		chosen.version = -1
+		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
+			break
+		}
+	}
+	return nil
+}
+
+// exploreExhaustive re-evaluates every candidate each iteration, exactly as
+// Algorithm 1 is written.
+func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
+	nBlocks := len(res.Profiles)
+	degrees := make([]int, nBlocks) // current degree; MaxDegree = accurate
+	for bi, p := range res.Profiles {
+		degrees[bi] = p.MaxDegree()
+	}
+
+	currentErr := 0.0
+	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+		// Candidates: blocks whose degree can still be decremented.
+		type cand struct {
+			bi     int
+			report qor.Report
+			err    error
+		}
+		var cands []*cand
+		for bi, p := range res.Profiles {
+			next := degrees[bi] - 1
+			if next < 1 || next > len(p.Variants) {
+				continue
+			}
+			cands = append(cands, &cand{bi: bi})
+		}
+		if len(cands) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Parallelism)
+		for _, cd := range cands {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(cd *cand) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				trial := append([]int(nil), degrees...)
+				trial[cd.bi]--
+				circ, err := res.buildCircuit(trial)
+				if err != nil {
+					cd.err = err
+					return
+				}
+				cd.report, cd.err = eval.Compare(circ)
+			}(cd)
+		}
+		wg.Wait()
+		best := -1
+		bestErr := math.Inf(1)
+		for i, cd := range cands {
+			if cd.err != nil {
+				return cd.err
+			}
+			if v := cd.report.Value(cfg.Metric); v < bestErr {
+				bestErr = v
+				best = i
+			}
+		}
+		chosen := cands[best]
+		degrees[chosen.bi]--
+		res.Steps = append(res.Steps, Step{
+			BlockIndex: chosen.bi,
+			NewDegree:  degrees[chosen.bi],
+			Report:     chosen.report,
+			ModelArea:  res.modelArea(degrees),
+		})
+		currentErr = chosen.report.Value(cfg.Metric)
+		if !cfg.ExploreFully && currentErr >= cfg.Threshold {
+			break
+		}
+	}
+	_ = currentErr
+	return nil
+}
+
+// modelArea is the paper's exploration-time area model: the sum of block
+// areas at the given degrees.
+func (r *Result) modelArea(degrees []int) float64 {
+	a := 0.0
+	for bi, p := range r.Profiles {
+		if degrees[bi] >= p.MaxDegree() || degrees[bi] < 1 || degrees[bi] > len(p.Variants) {
+			a += p.AccurateArea
+		} else {
+			a += p.Variants[degrees[bi]-1].MappedArea
+		}
+	}
+	return a
+}
+
+// buildCircuit materializes the approximate circuit for a degree vector.
+func (r *Result) buildCircuit(degrees []int) (*logic.Circuit, error) {
+	impls := make(map[int]*logic.Circuit)
+	for bi, p := range r.Profiles {
+		d := degrees[bi]
+		if d >= p.MaxDegree() || d < 1 || d > len(p.Variants) {
+			continue
+		}
+		impls[bi] = p.Variants[d-1].Impl
+	}
+	if len(impls) == 0 {
+		return r.Circuit, nil
+	}
+	blocks := make([]partition.Block, len(r.Profiles))
+	for bi, p := range r.Profiles {
+		blocks[bi] = p.Block
+	}
+	return logic.ReplaceBlocks(r.Circuit, partition.Substitutions(blocks, impls))
+}
+
+// DegreesAt reconstructs the per-block degree vector after the given step
+// (-1 = accurate circuit).
+func (r *Result) DegreesAt(step int) []int {
+	degrees := make([]int, len(r.Profiles))
+	for bi, p := range r.Profiles {
+		degrees[bi] = p.MaxDegree()
+	}
+	for s := 0; s <= step && s < len(r.Steps); s++ {
+		degrees[r.Steps[s].BlockIndex] = r.Steps[s].NewDegree
+	}
+	return degrees
+}
+
+// CircuitAt rebuilds the approximate circuit after the given step
+// (-1 = accurate circuit).
+func (r *Result) CircuitAt(step int) (*logic.Circuit, error) {
+	return r.buildCircuit(r.DegreesAt(step))
+}
+
+// selectBest picks the step with the smallest modeled area among steps whose
+// error is within the threshold.
+func (r *Result) selectBest() {
+	r.BestStep = -1
+	bestArea := math.Inf(1)
+	for i, s := range r.Steps {
+		if s.Report.Value(r.Config.Metric) <= r.Config.Threshold && s.ModelArea < bestArea {
+			bestArea = s.ModelArea
+			r.BestStep = i
+		}
+	}
+}
+
+// BestCircuit rebuilds the chosen approximate circuit (the accurate circuit
+// if no step fit the threshold).
+func (r *Result) BestCircuit() (*logic.Circuit, error) {
+	return r.CircuitAt(r.BestStep)
+}
+
+// TracePoint is one point of the trade-off curve for plotting: the modeled
+// (and normalized) area against each error metric.
+type TracePoint struct {
+	Step          int
+	NormModelArea float64
+	AvgRel        float64
+	AvgAbs        float64
+	NormAvgAbs    float64
+	MeanHamming   float64
+	BlockIndex    int
+	NewDegree     int
+}
+
+// Trace renders the exploration as normalized trade-off points (the paper's
+// Fig. 4/5 series), including the accurate starting point.
+func (r *Result) Trace() []TracePoint {
+	pts := make([]TracePoint, 0, len(r.Steps)+1)
+	pts = append(pts, TracePoint{Step: -1, NormModelArea: 1, BlockIndex: -1})
+	for i, s := range r.Steps {
+		pts = append(pts, TracePoint{
+			Step:          i,
+			NormModelArea: s.ModelArea / r.AccurateModelArea,
+			AvgRel:        s.Report.AvgRel,
+			AvgAbs:        s.Report.AvgAbs,
+			NormAvgAbs:    s.Report.NormAvgAbs,
+			MeanHamming:   s.Report.MeanHam,
+			BlockIndex:    s.BlockIndex,
+			NewDegree:     s.NewDegree,
+		})
+	}
+	return pts
+}
+
+// ParetoFront extracts the non-dominated (area, error) points of the trace
+// under the configured metric.
+func (r *Result) ParetoFront() []TracePoint {
+	pts := r.Trace()
+	type ae struct {
+		area, err float64
+		pt        TracePoint
+	}
+	list := make([]ae, 0, len(pts))
+	for i, p := range pts {
+		e := 0.0
+		if p.Step >= 0 {
+			e = r.Steps[i-1].Report.Value(r.Config.Metric)
+		}
+		list = append(list, ae{p.NormModelArea, e, p})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].err != list[j].err {
+			return list[i].err < list[j].err
+		}
+		return list[i].area < list[j].area
+	})
+	var front []TracePoint
+	bestArea := math.Inf(1)
+	for _, x := range list {
+		if x.area < bestArea {
+			bestArea = x.area
+			front = append(front, x.pt)
+		}
+	}
+	return front
+}
+
+// FinalMetrics technology-maps the circuit at the given step and returns
+// real (post-mapping) design metrics, alongside a fresh QoR report at the
+// requested sample count.
+func (r *Result) FinalMetrics(step, samples int) (techmap.Metrics, qor.Report, error) {
+	circ, err := r.CircuitAt(step)
+	if err != nil {
+		return techmap.Metrics{}, qor.Report{}, err
+	}
+	mapped, err := techmap.Map(circ, r.Config.Lib)
+	if err != nil {
+		return techmap.Metrics{}, qor.Report{}, err
+	}
+	eval, err := qor.NewComparer(r.Circuit, r.Spec, r.Config.Sequence, samples, r.Config.Seed+1)
+	if err != nil {
+		return techmap.Metrics{}, qor.Report{}, err
+	}
+	rep, err := eval.Compare(circ)
+	if err != nil {
+		return techmap.Metrics{}, qor.Report{}, err
+	}
+	return mapped.Metrics(min(samples, 1<<14), r.Config.Seed+2), rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WeightVectorForSpec exposes the power-of-two weights of a flat unsigned
+// output spec — convenience for direct BMF use on whole small circuits
+// (paper Fig. 3/4 style experiments).
+func WeightVectorForSpec(spec qor.OutputSpec, numOutputs int) []float64 {
+	w := tt.UniformWeights(numOutputs)
+	for _, g := range spec.Groups {
+		for j, bit := range g.Bits {
+			w[bit] = math.Ldexp(1, j)
+		}
+	}
+	return w
+}

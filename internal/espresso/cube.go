@@ -1,0 +1,164 @@
+// Package espresso implements two-level (sum-of-products) logic minimization
+// in the style of the classic ESPRESSO heuristic: EXPAND against the OFF-set,
+// IRREDUNDANT cover extraction, and REDUCE, iterated to a fixed point. An
+// exact Quine–McCluskey mode is provided for small functions and used by the
+// test suite to validate the heuristic's covers.
+//
+// Functions are given as truth tables (internal/tt.Table), which bounds the
+// input count to what BLASYS needs (subcircuits of ≤ ~12 inputs) and lets all
+// containment checks run exactly on packed bitvectors.
+package espresso
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Cube is a product term over up to 32 variables. For variable i:
+// pos bit i set   -> literal x_i appears
+// neg bit i set   -> literal ¬x_i appears
+// neither         -> variable unconstrained (don't care)
+// A cube with both bits set for some variable is empty (contradiction);
+// such cubes are never stored in covers.
+type Cube struct {
+	Pos, Neg uint32
+}
+
+// FullCube is the universal cube (no literals; covers every minterm).
+var FullCube = Cube{}
+
+// NumLiterals counts literals in the cube.
+func (c Cube) NumLiterals() int {
+	return bits.OnesCount32(c.Pos) + bits.OnesCount32(c.Neg)
+}
+
+// Contradictory reports whether some variable appears in both phases.
+func (c Cube) Contradictory() bool { return c.Pos&c.Neg != 0 }
+
+// Covers reports whether the cube covers minterm r (variable i = bit i of r).
+func (c Cube) Covers(r uint32) bool {
+	return c.Pos&^r == 0 && c.Neg&r == 0
+}
+
+// Contains reports whether c covers every minterm that d covers
+// (c is a superset cube: its literal set is a subset of d's).
+func (c Cube) Contains(d Cube) bool {
+	return c.Pos&^d.Pos == 0 && c.Neg&^d.Neg == 0
+}
+
+// WithLiteral returns the cube with variable v constrained to the phase.
+func (c Cube) WithLiteral(v int, phase bool) Cube {
+	if phase {
+		c.Pos |= 1 << uint(v)
+	} else {
+		c.Neg |= 1 << uint(v)
+	}
+	return c
+}
+
+// DropVar returns the cube with variable v unconstrained.
+func (c Cube) DropVar(v int) Cube {
+	mask := ^(uint32(1) << uint(v))
+	c.Pos &= mask
+	c.Neg &= mask
+	return c
+}
+
+// MintermCube returns the full-literal cube for minterm r over nvars.
+func MintermCube(nvars int, r uint32) Cube {
+	mask := uint32(1)<<uint(nvars) - 1
+	return Cube{Pos: r & mask, Neg: ^r & mask}
+}
+
+// String renders the cube in PLA notation over nvars variables
+// (variable 0 leftmost): '1' = positive literal, '0' = negative, '-' = free.
+func (c Cube) PLA(nvars int) string {
+	var b strings.Builder
+	for v := 0; v < nvars; v++ {
+		switch {
+		case c.Pos&(1<<uint(v)) != 0:
+			b.WriteByte('1')
+		case c.Neg&(1<<uint(v)) != 0:
+			b.WriteByte('0')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Bitvec returns the coverage of the cube as a truth table over nvars
+// variables: entry r is 1 iff the cube covers r. Computed by intersecting
+// variable masks, O(2^nvars / 64) per literal.
+func (c Cube) Bitvec(nvars int) *tt.Table {
+	t := tt.NewTable(nvars)
+	// Start from all-ones.
+	t = t.Not()
+	for v := 0; v < nvars; v++ {
+		bit := uint32(1) << uint(v)
+		if c.Pos&bit != 0 {
+			t = t.And(tt.Var(nvars, v))
+		} else if c.Neg&bit != 0 {
+			t = t.And(tt.Var(nvars, v).Not())
+		}
+	}
+	return t
+}
+
+// Cover is a set of cubes interpreted as their OR.
+type Cover struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// Bitvec returns the union coverage of all cubes.
+func (cv *Cover) Bitvec() *tt.Table {
+	t := tt.NewTable(cv.NumVars)
+	for _, c := range cv.Cubes {
+		t = t.Or(c.Bitvec(cv.NumVars))
+	}
+	return t
+}
+
+// NumLiterals sums literal counts over all cubes (the standard two-level
+// cost proxy: one literal ≈ one AND-gate input).
+func (cv *Cover) NumLiterals() int {
+	n := 0
+	for _, c := range cv.Cubes {
+		n += c.NumLiterals()
+	}
+	return n
+}
+
+// Cost is the (cubes, literals) lexicographic minimization objective.
+func (cv *Cover) Cost() (cubes, literals int) { return len(cv.Cubes), cv.NumLiterals() }
+
+// String renders the cover in PLA form, one cube per line.
+func (cv *Cover) String() string {
+	lines := make([]string, len(cv.Cubes))
+	for i, c := range cv.Cubes {
+		lines[i] = c.PLA(cv.NumVars)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Verify checks that the cover equals on exactly the ON-set and covers no
+// OFF-set minterm, treating dc as don't-care (may be nil).
+func (cv *Cover) Verify(on, dc *tt.Table) error {
+	cov := cv.Bitvec()
+	for r := 0; r < on.Len(); r++ {
+		inOn := on.Get(r)
+		inDc := dc != nil && dc.Get(r)
+		c := cov.Get(r)
+		if inOn && !inDc && !c {
+			return fmt.Errorf("espresso: minterm %d in ON-set not covered", r)
+		}
+		if !inOn && !inDc && c {
+			return fmt.Errorf("espresso: minterm %d in OFF-set covered", r)
+		}
+	}
+	return nil
+}

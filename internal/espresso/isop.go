@@ -1,0 +1,72 @@
+package espresso
+
+import "github.com/blasys-go/blasys/internal/tt"
+
+// ISOP computes an irredundant sum-of-products cover of the incompletely
+// specified function (on, dc) using the Minato–Morreale recursion. It is
+// much faster than starting Minimize from minterms and already yields an
+// irredundant cover of prime-ish cubes; Minimize uses it as the initial
+// cover for functions with many minterms.
+//
+// The recursion computes a cover F with on ⊆ F ⊆ on ∪ dc.
+func ISOP(on, dc *tt.Table) *Cover {
+	nvars := on.NumVars()
+	upper := on.Clone()
+	if dc != nil {
+		upper = on.Or(dc)
+	}
+	cv := &Cover{NumVars: nvars}
+	cubes, _ := isopRec(on, upper, nvars-1)
+	cv.Cubes = cubes
+	return cv
+}
+
+// isopRec returns a cover of (lower, upper) using variables [0, v] and the
+// coverage table of the returned cover.
+func isopRec(lower, upper *tt.Table, v int) ([]Cube, *tt.Table) {
+	nvars := lower.NumVars()
+	if lower.CountOnes() == 0 {
+		return nil, tt.NewTable(nvars)
+	}
+	if isConstOne(upper) {
+		// upper is the constant-1 function: the full cube suffices.
+		return []Cube{FullCube}, tt.NewTable(nvars).Not()
+	}
+	// Find the top variable that lower or upper actually depends on.
+	for v >= 0 && !lower.DependsOn(v) && !upper.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		// No dependence and lower nonzero: upper must be constant 1,
+		// handled above; reaching here means lower ⊆ upper = 1.
+		return []Cube{FullCube}, tt.NewTable(nvars).Not()
+	}
+
+	l0, l1 := lower.Cofactor(v, false), lower.Cofactor(v, true)
+	u0, u1 := upper.Cofactor(v, false), upper.Cofactor(v, true)
+
+	// Cubes that must contain literal ¬x_v: cover of (l0 \ u1, u0).
+	c0, cov0 := isopRec(l0.And(u1.Not()), u0, v-1)
+	// Cubes that must contain literal x_v: cover of (l1 \ u0, u1).
+	c1, cov1 := isopRec(l1.And(u0.Not()), u1, v-1)
+	// Remaining minterms, coverable without x_v.
+	lr := l0.And(cov0.Not()).Or(l1.And(cov1.Not()))
+	cd, covd := isopRec(lr, u0.And(u1), v-1)
+
+	xv := tt.Var(nvars, v)
+	var out []Cube
+	for _, c := range c0 {
+		out = append(out, c.WithLiteral(v, false))
+	}
+	for _, c := range c1 {
+		out = append(out, c.WithLiteral(v, true))
+	}
+	out = append(out, cd...)
+	cover := cov0.And(xv.Not()).Or(cov1.And(xv)).Or(covd)
+	return out, cover
+}
+
+// isConstOne reports whether t is the constant-1 function.
+func isConstOne(t *tt.Table) bool {
+	return t.CountOnes() == t.Len()
+}

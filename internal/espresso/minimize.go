@@ -1,0 +1,274 @@
+package espresso
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Options configures Minimize.
+type Options struct {
+	// MaxIter bounds the EXPAND/IRREDUNDANT/REDUCE iterations. Zero means 3.
+	MaxIter int
+}
+
+// Minimize computes a sum-of-products cover of the incompletely specified
+// function (on, dc): the cover includes every ON minterm, excludes every OFF
+// minterm, and is free to include don't-cares. dc may be nil. The input
+// tables must have at most 20 variables (and in practice BLASYS uses ≤ 12).
+//
+// The result is heuristically minimal in (cube count, literal count). Use
+// MinimizeExact for a provably minimum cover of small functions.
+func Minimize(on, dc *tt.Table, opt Options) *Cover {
+	nvars := on.NumVars()
+	if nvars > 20 {
+		panic(fmt.Sprintf("espresso: Minimize on %d variables (max 20)", nvars))
+	}
+	if dc != nil && dc.NumVars() != nvars {
+		panic("espresso: ON-set and DC-set variable counts differ")
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 3
+	}
+
+	care := on.Clone()
+	if dc != nil {
+		// Minterms that must not be covered: NOT(on OR dc).
+		care = on.Or(dc)
+	}
+	off := care.Not()
+
+	// Degenerate cases.
+	if on.CountOnes() == 0 {
+		return &Cover{NumVars: nvars}
+	}
+	if off.CountOnes() == 0 {
+		return &Cover{NumVars: nvars, Cubes: []Cube{FullCube}}
+	}
+
+	st := &state{nvars: nvars, on: on, off: off}
+	var cover *Cover
+	if on.CountOnes() > 64 {
+		// Large ON-sets: seed with the (already irredundant) ISOP cover
+		// instead of one cube per minterm.
+		cover = ISOP(on, dc)
+	} else {
+		cover = st.mintermCover()
+	}
+	st.expand(cover)
+	st.irredundant(cover)
+	best := cover.clone()
+	bestCubes, bestLits := best.Cost()
+
+	for iter := 1; iter < maxIter; iter++ {
+		st.reduce(cover)
+		st.expand(cover)
+		st.irredundant(cover)
+		c, l := cover.Cost()
+		if c < bestCubes || (c == bestCubes && l < bestLits) {
+			best = cover.clone()
+			bestCubes, bestLits = c, l
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+type state struct {
+	nvars int
+	on    *tt.Table // minterms that must be covered
+	off   *tt.Table // minterms that must not be covered
+}
+
+func (cv *Cover) clone() *Cover {
+	return &Cover{NumVars: cv.NumVars, Cubes: append([]Cube(nil), cv.Cubes...)}
+}
+
+// mintermCover builds the initial cover of single-minterm cubes.
+func (st *state) mintermCover() *Cover {
+	cv := &Cover{NumVars: st.nvars}
+	for r := 0; r < st.on.Len(); r++ {
+		if st.on.Get(r) {
+			cv.Cubes = append(cv.Cubes, MintermCube(st.nvars, uint32(r)))
+		}
+	}
+	return cv
+}
+
+// intersectsOff reports whether the cube covers any OFF minterm.
+func (st *state) intersectsOff(c Cube) bool {
+	return c.Bitvec(st.nvars).And(st.off).CountOnes() != 0
+}
+
+// expand greedily raises each cube (drops literals) while it stays disjoint
+// from the OFF-set, then removes cubes contained in other cubes. Cubes are
+// processed largest-first so big primes absorb small ones early.
+func (st *state) expand(cv *Cover) {
+	sort.Slice(cv.Cubes, func(i, j int) bool {
+		return cv.Cubes[i].NumLiterals() < cv.Cubes[j].NumLiterals()
+	})
+	for i := range cv.Cubes {
+		cv.Cubes[i] = st.expandCube(cv.Cubes[i])
+	}
+	cv.Cubes = removeContained(cv.Cubes)
+}
+
+// expandCube drops literals one at a time. The drop order prefers literals
+// whose removal frees the most ON-set minterms (a cheap proxy for ESPRESSO's
+// blocking-matrix heuristic).
+func (st *state) expandCube(c Cube) Cube {
+	for {
+		type cand struct {
+			v    int
+			gain int
+		}
+		var cands []cand
+		for v := 0; v < st.nvars; v++ {
+			bit := uint32(1) << uint(v)
+			if c.Pos&bit == 0 && c.Neg&bit == 0 {
+				continue
+			}
+			d := c.DropVar(v)
+			if !st.intersectsOff(d) {
+				g := d.Bitvec(st.nvars).And(st.on).CountOnes()
+				cands = append(cands, cand{v, g})
+			}
+		}
+		if len(cands) == 0 {
+			return c
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+		c = c.DropVar(cands[0].v)
+	}
+}
+
+func removeContained(cubes []Cube) []Cube {
+	var out []Cube
+	for i, c := range cubes {
+		contained := false
+		for j, d := range cubes {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && (!c.Contains(d) || j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// irredundant extracts a small subcover that still covers the ON-set:
+// essential cubes first, then greedy set cover on the remainder.
+func (st *state) irredundant(cv *Cover) {
+	n := len(cv.Cubes)
+	if n <= 1 {
+		return
+	}
+	covs := make([]*tt.Table, n)
+	for i, c := range cv.Cubes {
+		covs[i] = c.Bitvec(st.nvars).And(st.on)
+	}
+	// Count how many cubes cover each ON minterm.
+	counts := make([]int, st.on.Len())
+	for _, cov := range covs {
+		for r := 0; r < st.on.Len(); r++ {
+			if cov.Get(r) {
+				counts[r]++
+			}
+		}
+	}
+	keep := make([]bool, n)
+	covered := tt.NewTable(st.nvars)
+	for i, cov := range covs {
+		for r := 0; r < st.on.Len(); r++ {
+			if cov.Get(r) && counts[r] == 1 {
+				keep[i] = true
+				covered = covered.Or(cov)
+				break
+			}
+		}
+	}
+	// Greedy cover of the rest.
+	for {
+		remaining := st.on.And(covered.Not())
+		if remaining.CountOnes() == 0 {
+			break
+		}
+		bestI, bestGain := -1, 0
+		for i := range covs {
+			if keep[i] {
+				continue
+			}
+			g := covs[i].And(remaining).CountOnes()
+			if g > bestGain {
+				bestGain, bestI = g, i
+			}
+		}
+		if bestI == -1 {
+			// Should not happen: the union of all cubes covers ON.
+			panic("espresso: irredundant could not complete cover")
+		}
+		keep[bestI] = true
+		covered = covered.Or(covs[bestI])
+	}
+	out := cv.Cubes[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, cv.Cubes[i])
+		}
+	}
+	cv.Cubes = out
+}
+
+// reduce shrinks cubes one at a time to the supercube of the ON minterms not
+// covered by the rest of the (partially reduced) cover, giving the next
+// expand pass room to move toward different primes. Processing sequentially
+// against the current cover state preserves the covering invariant.
+func (st *state) reduce(cv *Cover) {
+	n := len(cv.Cubes)
+	covs := make([]*tt.Table, n)
+	for i, c := range cv.Cubes {
+		covs[i] = c.Bitvec(st.nvars).And(st.on)
+	}
+	// suffix[i] = OR of covs[i..n-1] in their original state.
+	suffix := make([]*tt.Table, n+1)
+	suffix[n] = tt.NewTable(st.nvars)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Or(covs[i])
+	}
+	prefix := tt.NewTable(st.nvars) // OR of already-reduced cubes
+	var out []Cube
+	for i := range cv.Cubes {
+		others := prefix.Or(suffix[i+1])
+		needed := covs[i].And(others.Not())
+		if needed.CountOnes() == 0 {
+			continue // fully redundant given the current cover
+		}
+		red := supercube(st.nvars, needed)
+		out = append(out, red)
+		prefix = prefix.Or(red.Bitvec(st.nvars).And(st.on))
+	}
+	cv.Cubes = out
+}
+
+// supercube returns the smallest cube covering every minterm set in t.
+func supercube(nvars int, t *tt.Table) Cube {
+	var c Cube
+	for v := 0; v < nvars; v++ {
+		xv := tt.Var(nvars, v)
+		if t.And(xv.Not()).CountOnes() == 0 {
+			c.Pos |= 1 << uint(v) // all minterms have bit v = 1
+		} else if t.And(xv).CountOnes() == 0 {
+			c.Neg |= 1 << uint(v) // all minterms have bit v = 0
+		}
+	}
+	return c
+}

@@ -1,0 +1,279 @@
+package logic
+
+import "fmt"
+
+// Builder constructs circuits with structural hashing and local
+// simplification: identical (op, fanin) gates are shared, constants are
+// folded, and trivial identities (x AND x, x XOR x, double inversion, ...)
+// are rewritten on the fly. All synthesis code builds netlists through a
+// Builder so that common subexpressions are shared for free.
+type Builder struct {
+	C     *Circuit
+	cache map[gateKey]NodeID
+}
+
+type gateKey struct {
+	op Op
+	a  NodeID
+	b  NodeID
+	c  NodeID
+}
+
+// NewBuilder returns a Builder over a fresh circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{C: New(name), cache: make(map[gateKey]NodeID)}
+}
+
+// WrapBuilder returns a Builder that appends to an existing circuit. Existing
+// gates are entered into the hash table so later additions share them.
+func WrapBuilder(c *Circuit) *Builder {
+	b := &Builder{C: c, cache: make(map[gateKey]NodeID)}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Op {
+		case Const0, Const1, Input:
+			continue
+		}
+		k := canonKey(n.Op, n.Fanin[0], faninOr(n, 1), faninOr(n, 2))
+		if _, ok := b.cache[k]; !ok {
+			b.cache[k] = NodeID(i)
+		}
+	}
+	return b
+}
+
+func faninOr(n *Node, i int) NodeID {
+	if int(n.Nfanin) > i {
+		return n.Fanin[i]
+	}
+	return Nil
+}
+
+// canonKey normalizes commutative operand order so a&b and b&a share a node.
+func canonKey(op Op, a, b, c NodeID) gateKey {
+	switch op {
+	case And, Or, Xor, Nand, Nor, Xnor:
+		if a > b {
+			a, b = b, a
+		}
+	}
+	return gateKey{op, a, b, c}
+}
+
+// Input adds a primary input.
+func (b *Builder) Input(name string) NodeID { return b.C.AddInput(name) }
+
+// Inputs adds n primary inputs with a common prefix.
+func (b *Builder) Inputs(prefix string, n int) []NodeID { return b.C.AddInputs(prefix, n) }
+
+// Const returns the constant node for v.
+func (b *Builder) Const(v bool) NodeID { return b.C.ConstNode(v) }
+
+// Output registers a primary output.
+func (b *Builder) Output(name string, id NodeID) { b.C.AddOutput(name, id) }
+
+// Outputs registers a bus of primary outputs, LSB first.
+func (b *Builder) Outputs(prefix string, ids []NodeID) { b.C.AddOutputs(prefix, ids) }
+
+// Gate adds (or reuses) a gate after local simplification.
+func (b *Builder) Gate(op Op, fanins ...NodeID) NodeID {
+	if len(fanins) != op.Arity() {
+		panic(fmt.Sprintf("logic: Builder.Gate(%s): got %d fanins, want %d", op, len(fanins), op.Arity()))
+	}
+	switch op {
+	case Const0:
+		return 0
+	case Const1:
+		return 1
+	case Buf:
+		return fanins[0]
+	case Not:
+		return b.not(fanins[0])
+	case And:
+		return b.and(fanins[0], fanins[1])
+	case Or:
+		return b.or(fanins[0], fanins[1])
+	case Xor:
+		return b.xor(fanins[0], fanins[1])
+	case Nand:
+		return b.not(b.and(fanins[0], fanins[1]))
+	case Nor:
+		return b.not(b.or(fanins[0], fanins[1]))
+	case Xnor:
+		return b.not(b.xor(fanins[0], fanins[1]))
+	case Mux:
+		return b.mux(fanins[0], fanins[1], fanins[2])
+	}
+	panic(fmt.Sprintf("logic: Builder.Gate: unsupported op %s", op))
+}
+
+func (b *Builder) raw(op Op, fanins ...NodeID) NodeID {
+	var k gateKey
+	switch len(fanins) {
+	case 1:
+		k = canonKey(op, fanins[0], Nil, Nil)
+	case 2:
+		k = canonKey(op, fanins[0], fanins[1], Nil)
+	case 3:
+		k = canonKey(op, fanins[0], fanins[1], fanins[2])
+	}
+	if id, ok := b.cache[k]; ok {
+		return id
+	}
+	id := b.C.AddGate(op, fanins...)
+	b.cache[k] = id
+	return id
+}
+
+func (b *Builder) not(a NodeID) NodeID {
+	switch {
+	case a == 0:
+		return 1
+	case a == 1:
+		return 0
+	}
+	if n := &b.C.Nodes[a]; n.Op == Not {
+		return n.Fanin[0] // double inversion
+	}
+	return b.raw(Not, a)
+}
+
+// Not returns NOT a.
+func (b *Builder) Not(a NodeID) NodeID { return b.not(a) }
+
+func (b *Builder) and(a, c NodeID) NodeID {
+	switch {
+	case a == 0 || c == 0:
+		return 0
+	case a == 1:
+		return c
+	case c == 1:
+		return a
+	case a == c:
+		return a
+	}
+	if b.isComplement(a, c) {
+		return 0
+	}
+	return b.raw(And, a, c)
+}
+
+// And returns a AND c.
+func (b *Builder) And(a, c NodeID) NodeID { return b.and(a, c) }
+
+func (b *Builder) or(a, c NodeID) NodeID {
+	switch {
+	case a == 1 || c == 1:
+		return 1
+	case a == 0:
+		return c
+	case c == 0:
+		return a
+	case a == c:
+		return a
+	}
+	if b.isComplement(a, c) {
+		return 1
+	}
+	return b.raw(Or, a, c)
+}
+
+// Or returns a OR c.
+func (b *Builder) Or(a, c NodeID) NodeID { return b.or(a, c) }
+
+func (b *Builder) xor(a, c NodeID) NodeID {
+	switch {
+	case a == c:
+		return 0
+	case a == 0:
+		return c
+	case c == 0:
+		return a
+	case a == 1:
+		return b.not(c)
+	case c == 1:
+		return b.not(a)
+	}
+	if b.isComplement(a, c) {
+		return 1
+	}
+	return b.raw(Xor, a, c)
+}
+
+// Xor returns a XOR c.
+func (b *Builder) Xor(a, c NodeID) NodeID { return b.xor(a, c) }
+
+// Nand returns NOT(a AND c).
+func (b *Builder) Nand(a, c NodeID) NodeID { return b.not(b.and(a, c)) }
+
+// Nor returns NOT(a OR c).
+func (b *Builder) Nor(a, c NodeID) NodeID { return b.not(b.or(a, c)) }
+
+// Xnor returns NOT(a XOR c).
+func (b *Builder) Xnor(a, c NodeID) NodeID { return b.not(b.xor(a, c)) }
+
+func (b *Builder) mux(s, a0, a1 NodeID) NodeID {
+	switch {
+	case s == 0:
+		return a0
+	case s == 1:
+		return a1
+	case a0 == a1:
+		return a0
+	case a0 == 0 && a1 == 1:
+		return s
+	case a0 == 1 && a1 == 0:
+		return b.not(s)
+	case a0 == 0:
+		return b.and(s, a1)
+	case a1 == 0:
+		return b.and(b.not(s), a0)
+	case a0 == 1:
+		return b.or(b.not(s), a1)
+	case a1 == 1:
+		return b.or(s, a0)
+	}
+	return b.raw(Mux, s, a0, a1)
+}
+
+// Mux returns a1 if s else a0.
+func (b *Builder) Mux(s, a0, a1 NodeID) NodeID { return b.mux(s, a0, a1) }
+
+// isComplement reports whether one node is exactly Not(other).
+func (b *Builder) isComplement(x, y NodeID) bool {
+	nx, ny := &b.C.Nodes[x], &b.C.Nodes[y]
+	return (nx.Op == Not && nx.Fanin[0] == y) || (ny.Op == Not && ny.Fanin[0] == x)
+}
+
+// AndTree reduces the given nodes with a balanced tree of AND gates.
+// An empty list yields constant 1.
+func (b *Builder) AndTree(xs []NodeID) NodeID { return b.tree(xs, b.and, 1) }
+
+// OrTree reduces the given nodes with a balanced tree of OR gates.
+// An empty list yields constant 0.
+func (b *Builder) OrTree(xs []NodeID) NodeID { return b.tree(xs, b.or, 0) }
+
+// XorTree reduces the given nodes with a balanced tree of XOR gates.
+// An empty list yields constant 0.
+func (b *Builder) XorTree(xs []NodeID) NodeID { return b.tree(xs, b.xor, 0) }
+
+func (b *Builder) tree(xs []NodeID, op func(a, c NodeID) NodeID, identity NodeID) NodeID {
+	switch len(xs) {
+	case 0:
+		return identity
+	case 1:
+		return xs[0]
+	}
+	work := append([]NodeID(nil), xs...)
+	for len(work) > 1 {
+		var next []NodeID
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, op(work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}

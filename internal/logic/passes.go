@@ -1,0 +1,273 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sweep rebuilds the circuit through a Builder, dropping logic that no
+// primary output depends on and re-applying structural hashing and constant
+// folding. Primary inputs and outputs keep their order and names, so the
+// circuit's interface is unchanged.
+func Sweep(c *Circuit) *Circuit {
+	live := c.TransitiveFanin(c.Outputs...)
+	b := NewBuilder(c.Name)
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range remap {
+		remap[i] = Nil
+	}
+	remap[0], remap[1] = 0, 1
+	for i, in := range c.Inputs {
+		remap[in] = b.Input(c.InputNames[i])
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Op {
+		case Const0, Const1, Input:
+			continue
+		}
+		if !live[i] {
+			continue
+		}
+		fan := n.Fanins()
+		mapped := make([]NodeID, len(fan))
+		for j, f := range fan {
+			mapped[j] = remap[f]
+		}
+		remap[i] = b.Gate(n.Op, mapped...)
+	}
+	for i, o := range c.Outputs {
+		b.Output(c.OutputNames[i], remap[o])
+	}
+	return b.C
+}
+
+// ReorderDFS rebuilds the circuit so that gate node indices follow a
+// depth-first traversal from the primary outputs (fanins first, outputs in
+// declaration order). Logic belonging to one output cone becomes contiguous
+// in node-index order, which gives the k×m-cut partitioner far tighter
+// boundaries than creation order. The result is functionally identical and
+// swept of dead logic.
+func ReorderDFS(c *Circuit) *Circuit {
+	b := NewBuilder(c.Name)
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range remap {
+		remap[i] = Nil
+	}
+	remap[0], remap[1] = 0, 1
+	for i, in := range c.Inputs {
+		remap[in] = b.Input(c.InputNames[i])
+	}
+	var visit func(id NodeID) NodeID
+	visit = func(id NodeID) NodeID {
+		if remap[id] != Nil {
+			return remap[id]
+		}
+		n := &c.Nodes[id]
+		fan := n.Fanins()
+		mapped := make([]NodeID, len(fan))
+		for j, f := range fan {
+			mapped[j] = visit(f)
+		}
+		remap[id] = b.Gate(n.Op, mapped...)
+		return remap[id]
+	}
+	for i, o := range c.Outputs {
+		b.Output(c.OutputNames[i], visit(o))
+	}
+	return b.C
+}
+
+// Substitution describes replacing a set of gates ("the block") with an
+// implementation circuit wired to the same boundary nets.
+//
+// Gates lists the block's nodes. Inputs lists the boundary nets feeding the
+// block (nodes outside the block), in the order matching Impl's primary
+// inputs. Outputs lists block nodes whose values are consumed outside the
+// block, in the order matching Impl's primary outputs.
+//
+// Every consumer of a block output must come after the block's last gate in
+// topological order (guaranteed for convex interval blocks produced by the
+// partition package); ReplaceBlocks reports an error otherwise.
+type Substitution struct {
+	Gates   []NodeID
+	Inputs  []NodeID
+	Outputs []NodeID
+	Impl    *Circuit
+}
+
+// ReplaceBlocks returns a new circuit in which every substitution's block is
+// replaced by its implementation. Blocks must be pairwise disjoint. The
+// result is rebuilt through a Builder, so shared logic is re-hashed and
+// constants folded.
+func ReplaceBlocks(c *Circuit, subs []Substitution) (*Circuit, error) {
+	if len(subs) == 0 {
+		return Sweep(c), nil
+	}
+	// blockOf[i] = index of the substitution owning node i, or -1.
+	blockOf := make([]int, len(c.Nodes))
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	// lastGate[s] = highest node index in substitution s.
+	lastGate := make([]NodeID, len(subs))
+	for si, sub := range subs {
+		if sub.Impl == nil {
+			return nil, fmt.Errorf("logic: substitution %d has nil implementation", si)
+		}
+		if len(sub.Impl.Inputs) != len(sub.Inputs) {
+			return nil, fmt.Errorf("logic: substitution %d: impl has %d inputs, block has %d",
+				si, len(sub.Impl.Inputs), len(sub.Inputs))
+		}
+		if len(sub.Impl.Outputs) != len(sub.Outputs) {
+			return nil, fmt.Errorf("logic: substitution %d: impl has %d outputs, block has %d",
+				si, len(sub.Impl.Outputs), len(sub.Outputs))
+		}
+		if len(sub.Gates) == 0 {
+			return nil, fmt.Errorf("logic: substitution %d has no gates", si)
+		}
+		for _, g := range sub.Gates {
+			if g < 2 || int(g) >= len(c.Nodes) || c.Nodes[g].Op == Input {
+				return nil, fmt.Errorf("logic: substitution %d: node %d is not a gate", si, g)
+			}
+			if blockOf[g] != -1 {
+				return nil, fmt.Errorf("logic: node %d appears in substitutions %d and %d", g, blockOf[g], si)
+			}
+			blockOf[g] = si
+			if g > lastGate[si] {
+				lastGate[si] = g
+			}
+		}
+		for _, in := range sub.Inputs {
+			if blockOf[in] == si {
+				return nil, fmt.Errorf("logic: substitution %d: input net %d is inside the block", si, in)
+			}
+		}
+		for _, out := range sub.Outputs {
+			if blockOf[out] != si {
+				return nil, fmt.Errorf("logic: substitution %d: output node %d is not in the block", si, out)
+			}
+		}
+	}
+
+	// Order substitutions by their last gate so each implementation is
+	// instantiated as soon as its block has been skipped.
+	order := make([]int, len(subs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return lastGate[order[a]] < lastGate[order[b]] })
+
+	b := NewBuilder(c.Name)
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range remap {
+		remap[i] = Nil
+	}
+	remap[0], remap[1] = 0, 1
+	for i, in := range c.Inputs {
+		remap[in] = b.Input(c.InputNames[i])
+	}
+
+	next := 0 // next substitution (in order) awaiting instantiation
+	instantiate := func(si int) error {
+		sub := &subs[si]
+		env := make([]NodeID, len(sub.Inputs))
+		for j, in := range sub.Inputs {
+			if remap[in] == Nil {
+				return fmt.Errorf("logic: substitution %d: input net %d not yet defined (block not convex?)", si, in)
+			}
+			env[j] = remap[in]
+		}
+		outs := instantiateInto(b, sub.Impl, env)
+		for j, out := range sub.Outputs {
+			remap[out] = outs[j]
+		}
+		return nil
+	}
+
+	live := c.TransitiveFanin(c.Outputs...)
+	for i := range c.Nodes {
+		for next < len(order) && int(lastGate[order[next]]) < i {
+			if err := instantiate(order[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		n := &c.Nodes[i]
+		switch n.Op {
+		case Const0, Const1, Input:
+			continue
+		}
+		if blockOf[i] != -1 {
+			continue // skipped; implementation supplies any visible outputs
+		}
+		if !live[i] {
+			continue // dead logic never constrains substitution ordering
+		}
+		fan := n.Fanins()
+		mapped := make([]NodeID, len(fan))
+		for j, f := range fan {
+			if remap[f] == Nil {
+				return nil, fmt.Errorf("logic: node %d consumes block-internal net %d before the block ends", i, f)
+			}
+			mapped[j] = remap[f]
+		}
+		remap[i] = b.Gate(n.Op, mapped...)
+	}
+	for next < len(order) {
+		if err := instantiate(order[next]); err != nil {
+			return nil, err
+		}
+		next++
+	}
+	for i, o := range c.Outputs {
+		if remap[o] == Nil {
+			return nil, fmt.Errorf("logic: primary output %d (node %d) left undefined after substitution", i, o)
+		}
+		b.Output(c.OutputNames[i], remap[o])
+	}
+	return Sweep(b.C), nil
+}
+
+// instantiateInto copies impl's logic into builder b with impl's primary
+// inputs bound to env, returning the node IDs corresponding to impl's
+// primary outputs.
+func instantiateInto(b *Builder, impl *Circuit, env []NodeID) []NodeID {
+	remap := make([]NodeID, len(impl.Nodes))
+	for i := range remap {
+		remap[i] = Nil
+	}
+	remap[0], remap[1] = 0, 1
+	for i, in := range impl.Inputs {
+		remap[in] = env[i]
+	}
+	for i := range impl.Nodes {
+		n := &impl.Nodes[i]
+		switch n.Op {
+		case Const0, Const1, Input:
+			continue
+		}
+		fan := n.Fanins()
+		mapped := make([]NodeID, len(fan))
+		for j, f := range fan {
+			mapped[j] = remap[f]
+		}
+		remap[i] = b.Gate(n.Op, mapped...)
+	}
+	outs := make([]NodeID, len(impl.Outputs))
+	for i, o := range impl.Outputs {
+		outs[i] = remap[o]
+	}
+	return outs
+}
+
+// Instantiate appends a copy of impl into builder b with impl's inputs bound
+// to env and returns the new IDs of impl's outputs. It is the exported form
+// of the helper used by ReplaceBlocks, useful for assembling hierarchical
+// circuits (e.g. a MAC from a multiplier and an adder).
+func Instantiate(b *Builder, impl *Circuit, env []NodeID) []NodeID {
+	if len(env) != len(impl.Inputs) {
+		panic(fmt.Sprintf("logic: Instantiate: got %d bindings, want %d", len(env), len(impl.Inputs)))
+	}
+	return instantiateInto(b, impl, env)
+}

@@ -1,0 +1,217 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func circuitsEquivalent(t *testing.T, a, b *Circuit, samples int, rng *rand.Rand) {
+	t.Helper()
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("interface mismatch: %d/%d inputs, %d/%d outputs",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	simA, simB := NewSimulator(a), NewSimulator(b)
+	in := make([]uint64, len(a.Inputs))
+	outA := make([]uint64, len(a.Outputs))
+	outB := make([]uint64, len(b.Outputs))
+	for batch := 0; batch < (samples+63)/64; batch++ {
+		RandomInputWords(rng, in)
+		simA.Run(in, outA)
+		simB.Run(in, outB)
+		for o := range outA {
+			if outA[o] != outB[o] {
+				t.Fatalf("batch %d output %d: %x != %x", batch, o, outA[o], outB[o])
+			}
+		}
+	}
+}
+
+func TestSweepPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 4+rng.Intn(5), 10+rng.Intn(80), 1+rng.Intn(5))
+		s := Sweep(c)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: swept circuit invalid: %v", trial, err)
+		}
+		if s.NumGates() > c.NumGates() {
+			t.Errorf("trial %d: sweep grew circuit %d -> %d", trial, c.NumGates(), s.NumGates())
+		}
+		circuitsEquivalent(t, c, s, 256, rng)
+	}
+}
+
+func TestSweepRemovesDeadLogic(t *testing.T) {
+	b := NewBuilder("dead")
+	a := b.Input("a")
+	x := b.Input("x")
+	live := b.And(a, x)
+	// Build a dead cone.
+	d := b.Xor(a, x)
+	d = b.Not(d)
+	d = b.Or(d, a)
+	_ = d
+	b.Output("o", live)
+	s := Sweep(b.C)
+	if s.NumGates() != 1 {
+		t.Errorf("swept gates = %d, want 1", s.NumGates())
+	}
+	if len(s.Inputs) != 2 {
+		t.Errorf("sweep must preserve all primary inputs, got %d", len(s.Inputs))
+	}
+}
+
+// identityImpl builds a circuit computing the same function as the block
+// given its truth table — here we simply rebuild y = a AND b.
+func TestReplaceBlockWithEquivalentImpl(t *testing.T) {
+	// Original: o = (a AND b) OR c, block = the AND gate.
+	b := NewBuilder("orig")
+	a := b.Input("a")
+	x := b.Input("b")
+	cc := b.Input("c")
+	andg := b.And(a, x)
+	org := b.Or(andg, cc)
+	b.Output("o", org)
+
+	// Impl: 2-input, 1-output AND built from NANDs.
+	ib := NewBuilder("impl")
+	p := ib.Input("p")
+	q := ib.Input("q")
+	ib.Output("y", ib.Not(ib.Nand(p, q)))
+
+	got, err := ReplaceBlocks(b.C, []Substitution{{
+		Gates:   []NodeID{andg},
+		Inputs:  []NodeID{a, x},
+		Outputs: []NodeID{andg},
+		Impl:    ib.C,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	circuitsEquivalent(t, b.C, got, 128, rng)
+}
+
+func TestReplaceBlockChangesFunction(t *testing.T) {
+	// Replace an AND block with an OR implementation and check the change
+	// is exactly as expected.
+	b := NewBuilder("orig")
+	a := b.Input("a")
+	x := b.Input("b")
+	andg := b.And(a, x)
+	b.Output("o", andg)
+
+	ib := NewBuilder("impl")
+	p := ib.Input("p")
+	q := ib.Input("q")
+	ib.Output("y", ib.Or(p, q))
+
+	got, err := ReplaceBlocks(b.C, []Substitution{{
+		Gates:   []NodeID{andg},
+		Inputs:  []NodeID{a, x},
+		Outputs: []NodeID{andg},
+		Impl:    ib.C,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 4; v++ {
+		want := uint64(0)
+		if v&1 != 0 || v>>1 != 0 {
+			want = 1
+		}
+		if got.EvalUint(v) != want {
+			t.Errorf("input %d: got %d, want %d", v, got.EvalUint(v), want)
+		}
+	}
+}
+
+func TestReplaceBlocksMultiple(t *testing.T) {
+	// Two disjoint single-gate blocks replaced with equivalent impls must
+	// preserve the overall function.
+	b := NewBuilder("orig")
+	a := b.Input("a")
+	x := b.Input("b")
+	c := b.Input("c")
+	g1 := b.Xor(a, x)
+	g2 := b.And(g1, c)
+	g3 := b.Or(g2, a)
+	b.Output("o", g3)
+
+	mkXor := func() *Circuit {
+		ib := NewBuilder("xorimpl")
+		p, q := ib.Input("p"), ib.Input("q")
+		ib.Output("y", ib.Or(ib.And(p, ib.Not(q)), ib.And(ib.Not(p), q)))
+		return ib.C
+	}
+	mkAnd := func() *Circuit {
+		ib := NewBuilder("andimpl")
+		p, q := ib.Input("p"), ib.Input("q")
+		ib.Output("y", ib.Not(ib.Nand(p, q)))
+		return ib.C
+	}
+	got, err := ReplaceBlocks(b.C, []Substitution{
+		{Gates: []NodeID{g1}, Inputs: []NodeID{a, x}, Outputs: []NodeID{g1}, Impl: mkXor()},
+		{Gates: []NodeID{g2}, Inputs: []NodeID{g1, c}, Outputs: []NodeID{g2}, Impl: mkAnd()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	circuitsEquivalent(t, b.C, got, 128, rng)
+}
+
+func TestReplaceBlocksErrors(t *testing.T) {
+	b := NewBuilder("orig")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.And(a, x)
+	b.Output("o", g)
+
+	ib := NewBuilder("impl")
+	ib.Input("p")
+	ib.Output("y", ib.Not(NodeID(2)))
+
+	// Wrong input arity.
+	_, err := ReplaceBlocks(b.C, []Substitution{{
+		Gates: []NodeID{g}, Inputs: []NodeID{a, x}, Outputs: []NodeID{g}, Impl: ib.C,
+	}})
+	if err == nil {
+		t.Error("accepted arity mismatch")
+	}
+
+	// Overlapping blocks.
+	ib2 := NewBuilder("impl2")
+	p, q := ib2.Input("p"), ib2.Input("q")
+	ib2.Output("y", ib2.And(p, q))
+	_, err = ReplaceBlocks(b.C, []Substitution{
+		{Gates: []NodeID{g}, Inputs: []NodeID{a, x}, Outputs: []NodeID{g}, Impl: ib2.C},
+		{Gates: []NodeID{g}, Inputs: []NodeID{a, x}, Outputs: []NodeID{g}, Impl: ib2.C},
+	})
+	if err == nil {
+		t.Error("accepted overlapping blocks")
+	}
+}
+
+func TestInstantiateComposesCircuits(t *testing.T) {
+	// half adder instantiated twice + OR = full adder.
+	ha := NewBuilder("ha")
+	p, q := ha.Input("a"), ha.Input("b")
+	ha.Output("s", ha.Xor(p, q))
+	ha.Output("c", ha.And(p, q))
+
+	fa := NewBuilder("fa")
+	a, x, cin := fa.Input("a"), fa.Input("b"), fa.Input("cin")
+	r1 := Instantiate(fa, ha.C, []NodeID{a, x})
+	r2 := Instantiate(fa, ha.C, []NodeID{r1[0], cin})
+	fa.Output("s", r2[0])
+	fa.Output("cout", fa.Or(r1[1], r2[1]))
+
+	for v := uint64(0); v < 8; v++ {
+		sum := (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1)
+		if got := fa.C.EvalUint(v); got != sum {
+			t.Errorf("fa(%d) = %d, want %d", v, got, sum)
+		}
+	}
+}

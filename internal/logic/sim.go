@@ -1,0 +1,211 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Simulator evaluates a circuit 64 samples at a time: every node carries one
+// uint64 word whose bit j is the node's value in sample j of the batch.
+// A Simulator is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	c     *Circuit
+	words []uint64
+}
+
+// NewSimulator allocates a simulator for the circuit. The circuit must not
+// be structurally modified while the simulator is in use.
+func NewSimulator(c *Circuit) *Simulator {
+	return &Simulator{c: c, words: make([]uint64, len(c.Nodes))}
+}
+
+// Run simulates one 64-sample batch. inputWords[i] carries the 64 values of
+// primary input i. The returned slice holds one word per primary output and
+// aliases the simulator's internal buffer: copy it before the next Run.
+func (s *Simulator) Run(inputWords []uint64, outWords []uint64) []uint64 {
+	c := s.c
+	if len(inputWords) != len(c.Inputs) {
+		panic(fmt.Sprintf("logic: Simulator.Run: got %d input words, want %d", len(inputWords), len(c.Inputs)))
+	}
+	w := s.words
+	w[0] = 0
+	w[1] = ^uint64(0)
+	for i, in := range c.Inputs {
+		w[in] = inputWords[i]
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Op {
+		case Const0, Const1, Input:
+			continue
+		case Not:
+			w[i] = ^w[n.Fanin[0]]
+		case Buf:
+			w[i] = w[n.Fanin[0]]
+		case And:
+			w[i] = w[n.Fanin[0]] & w[n.Fanin[1]]
+		case Or:
+			w[i] = w[n.Fanin[0]] | w[n.Fanin[1]]
+		case Xor:
+			w[i] = w[n.Fanin[0]] ^ w[n.Fanin[1]]
+		case Nand:
+			w[i] = ^(w[n.Fanin[0]] & w[n.Fanin[1]])
+		case Nor:
+			w[i] = ^(w[n.Fanin[0]] | w[n.Fanin[1]])
+		case Xnor:
+			w[i] = ^(w[n.Fanin[0]] ^ w[n.Fanin[1]])
+		case Mux:
+			sel := w[n.Fanin[0]]
+			w[i] = (sel & w[n.Fanin[2]]) | (^sel & w[n.Fanin[1]])
+		default:
+			w[i] = n.Op.Eval(w[n.Fanin[0]], w[n.Fanin[1]], w[n.Fanin[2]])
+		}
+	}
+	if outWords == nil {
+		outWords = make([]uint64, len(c.Outputs))
+	}
+	for i, o := range c.Outputs {
+		outWords[i] = w[o]
+	}
+	return outWords
+}
+
+// NodeWords returns the raw per-node word buffer from the last Run. It
+// aliases internal state and is only valid until the next Run.
+func (s *Simulator) NodeWords() []uint64 { return s.words }
+
+// Eval evaluates the circuit on a single input assignment given as a bit
+// slice (inputs[i] is primary input i) and returns per-output values.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("logic: Eval: got %d inputs, want %d", len(inputs), len(c.Inputs)))
+	}
+	words := make([]uint64, len(inputs))
+	for i, v := range inputs {
+		if v {
+			words[i] = ^uint64(0)
+		}
+	}
+	out := NewSimulator(c).Run(words, nil)
+	res := make([]bool, len(out))
+	for i, w := range out {
+		res[i] = w&1 != 0
+	}
+	return res
+}
+
+// EvalUint evaluates the circuit treating the input bus as an unsigned
+// integer (input i = bit i) and returns the output bus likewise. Both buses
+// must have at most 64 bits.
+func (c *Circuit) EvalUint(x uint64) uint64 {
+	if len(c.Inputs) > 64 || len(c.Outputs) > 64 {
+		panic("logic: EvalUint requires <= 64 inputs and outputs")
+	}
+	in := make([]bool, len(c.Inputs))
+	for i := range in {
+		in[i] = x&(1<<uint(i)) != 0
+	}
+	out := c.Eval(in)
+	var y uint64
+	for i, v := range out {
+		if v {
+			y |= 1 << uint(i)
+		}
+	}
+	return y
+}
+
+// TruthTables computes the complete truth table of every primary output.
+// The circuit must have at most 20 inputs. Input i is variable i of the
+// resulting tables (row index bit i = input i).
+func (c *Circuit) TruthTables() []*tt.Table {
+	k := len(c.Inputs)
+	if k > 20 {
+		panic(fmt.Sprintf("logic: TruthTables on %d inputs (max 20)", k))
+	}
+	tables := make([]*tt.Table, len(c.Outputs))
+	for i := range tables {
+		tables[i] = tt.NewTable(k)
+	}
+	sim := NewSimulator(c)
+	inWords := make([]uint64, k)
+	outWords := make([]uint64, len(c.Outputs))
+	rows := 1 << uint(k)
+	batches := (rows + 63) / 64
+	for b := 0; b < batches; b++ {
+		base := b * 64
+		for i := 0; i < k; i++ {
+			inWords[i] = countingPattern(i, base)
+		}
+		sim.Run(inWords, outWords)
+		limit := rows - base
+		if limit > 64 {
+			limit = 64
+		}
+		for o := range outWords {
+			w := outWords[o]
+			dst := tables[o].Words()
+			if limit == 64 {
+				dst[b] = w
+			} else {
+				dst[b] = w & ((1 << uint(limit)) - 1)
+			}
+		}
+	}
+	return tables
+}
+
+// countingPattern returns the 64-bit word for variable i over rows
+// [base, base+63]: bit j = ((base+j)>>i)&1. For i < 6 this is a fixed
+// repeating pattern; for i >= 6 it is constant within the batch.
+func countingPattern(i, base int) uint64 {
+	if i < 6 {
+		var pat uint64
+		block := uint(1) << uint(i)
+		for b := uint(0); b < 64; b += 2 * block {
+			pat |= ((uint64(1) << block) - 1) << (b + block)
+		}
+		return pat
+	}
+	if (base>>uint(i))&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// TruthMatrix computes the truth table of the whole circuit as a
+// 2^k x m Boolean matrix (row = input assignment, column = output).
+// Requires at most 20 inputs and at most 64 outputs.
+func (c *Circuit) TruthMatrix() *tt.Matrix {
+	k := len(c.Inputs)
+	m := len(c.Outputs)
+	if m > 64 {
+		panic("logic: TruthMatrix requires <= 64 outputs")
+	}
+	tabs := c.TruthTables()
+	mat := tt.NewMatrix(1<<uint(k), m)
+	for j, tab := range tabs {
+		mat.SetColumn(j, tab)
+	}
+	return mat
+}
+
+// RandomInputWords fills dst with one word of 64 random samples per primary
+// input using the provided source.
+func RandomInputWords(rng *rand.Rand, dst []uint64) {
+	for i := range dst {
+		dst[i] = rng.Uint64()
+	}
+}
+
+// CountingWords fills dst (one word per input) with the exhaustive
+// enumeration patterns for assignments [base, base+63]: bit j of dst[i] is
+// bit i of the integer base+j. Used for exhaustive QoR evaluation and truth
+// table extraction.
+func CountingWords(base int, dst []uint64) {
+	for i := range dst {
+		dst[i] = countingPattern(i, base)
+	}
+}

@@ -1,0 +1,311 @@
+// Package qor evaluates the quality of results of an approximate circuit
+// against its accurate reference, implementing the error metrics of the
+// BLASYS paper's Section 4: average relative error (Eq. 1), average absolute
+// error (Eq. 2, plus the normalized variant plotted in Fig. 5), Hamming
+// distance, error rate, and worst-case error.
+//
+// Accuracy is estimated by Monte-Carlo simulation over uniform random input
+// vectors (the paper uses one million samples); circuits with at most
+// ExhaustiveLimit inputs are evaluated exhaustively instead, making the
+// estimate exact.
+package qor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+// ExhaustiveLimit is the input count up to which evaluation enumerates all
+// assignments instead of sampling.
+const ExhaustiveLimit = 20
+
+// Group interprets a subset of circuit outputs as one number.
+type Group struct {
+	Name string
+	// Bits lists output indices, least significant first.
+	Bits []int
+	// Signed selects two's-complement interpretation.
+	Signed bool
+}
+
+// MaxValue returns the largest magnitude representable by the group, used
+// for normalizing absolute errors.
+func (g Group) MaxValue() float64 {
+	n := len(g.Bits)
+	if g.Signed {
+		return math.Ldexp(1, n-1) // 2^(n-1)
+	}
+	return math.Ldexp(1, n) - 1 // 2^n - 1
+}
+
+// OutputSpec describes how a circuit's outputs decompose into numbers.
+type OutputSpec struct {
+	Groups []Group
+}
+
+// Unsigned returns the spec interpreting outputs [0, n) as one unsigned
+// number, LSB first — the common case for arithmetic circuits.
+func Unsigned(name string, n int) OutputSpec {
+	bits := make([]int, n)
+	for i := range bits {
+		bits[i] = i
+	}
+	return OutputSpec{Groups: []Group{{Name: name, Bits: bits}}}
+}
+
+// Metric selects a scalar from a Report, used to drive the design-space
+// exploration and thresholds.
+type Metric int
+
+// Supported metrics.
+const (
+	// AvgRelative is Eq. 1: mean of |R - R'| / max(|R|, 1).
+	AvgRelative Metric = iota
+	// AvgAbsolute is Eq. 2: mean of |R - R'|.
+	AvgAbsolute
+	// NormAvgAbsolute is AvgAbsolute normalized to the group's maximum
+	// value (the paper's Fig. 5 right-hand axis).
+	NormAvgAbsolute
+	// MeanHamming is the mean number of flipped output bits per sample.
+	MeanHamming
+	// ErrorRate is the fraction of samples with any output mismatch.
+	ErrorRate
+	// WorstRelative is the maximum relative error observed.
+	WorstRelative
+	// MSE is the mean squared numeric error.
+	MSE
+)
+
+var metricNames = map[Metric]string{
+	AvgRelative:     "avg-relative-error",
+	AvgAbsolute:     "avg-absolute-error",
+	NormAvgAbsolute: "normalized-avg-absolute-error",
+	MeanHamming:     "mean-hamming-distance",
+	ErrorRate:       "error-rate",
+	WorstRelative:   "worst-relative-error",
+	MSE:             "mean-squared-error",
+}
+
+func (m Metric) String() string {
+	if s, ok := metricNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// Report carries every metric from one comparison.
+type Report struct {
+	Samples     int
+	Exact       bool // true when evaluated exhaustively
+	AvgRel      float64
+	AvgAbs      float64
+	NormAvgAbs  float64
+	MeanHam     float64
+	ErrRate     float64
+	WorstRel    float64
+	WorstAbs    float64
+	MeanSquared float64
+}
+
+// Value extracts the requested metric.
+func (r Report) Value(m Metric) float64 {
+	switch m {
+	case AvgRelative:
+		return r.AvgRel
+	case AvgAbsolute:
+		return r.AvgAbs
+	case NormAvgAbsolute:
+		return r.NormAvgAbs
+	case MeanHamming:
+		return r.MeanHam
+	case ErrorRate:
+		return r.ErrRate
+	case WorstRelative:
+		return r.WorstRel
+	case MSE:
+		return r.MeanSquared
+	}
+	panic(fmt.Sprintf("qor: unknown metric %d", int(m)))
+}
+
+// Evaluator compares approximate circuits against a fixed reference.
+// The reference outputs for the (deterministic) input stream are computed
+// once and cached, so repeated Compare calls — the inner loop of the
+// design-space exploration — only simulate the approximate circuit.
+// An Evaluator is safe for concurrent Compare calls.
+type Evaluator struct {
+	ref     *logic.Circuit
+	spec    OutputSpec
+	samples int
+	seed    int64
+
+	inWords    [][]uint64 // per batch, per input
+	refOut     [][]uint64 // per batch, per output
+	nBatches   int
+	lastMask   uint64 // valid-sample mask of the final batch
+	exhaustive bool
+}
+
+// NewEvaluator prepares an evaluator with the given Monte-Carlo sample count
+// and seed. If the reference circuit has at most ExhaustiveLimit inputs and
+// 2^inputs <= samples, evaluation is exhaustive and exact.
+func NewEvaluator(ref *logic.Circuit, spec OutputSpec, samples int, seed int64) (*Evaluator, error) {
+	if samples < 64 {
+		samples = 64
+	}
+	for gi, g := range spec.Groups {
+		if len(g.Bits) == 0 || len(g.Bits) > 63 {
+			return nil, fmt.Errorf("qor: group %d has %d bits (want 1..63)", gi, len(g.Bits))
+		}
+		for _, b := range g.Bits {
+			if b < 0 || b >= len(ref.Outputs) {
+				return nil, fmt.Errorf("qor: group %d references output %d of %d", gi, b, len(ref.Outputs))
+			}
+		}
+	}
+	e := &Evaluator{ref: ref, spec: spec, samples: samples, seed: seed}
+
+	k := len(ref.Inputs)
+	exhaustive := k <= ExhaustiveLimit && (1<<uint(k)) <= samples
+	if exhaustive {
+		total := 1 << uint(k)
+		e.samples = total
+		e.nBatches = (total + 63) / 64
+	} else {
+		e.nBatches = (samples + 63) / 64
+		e.samples = e.nBatches * 64
+	}
+	rem := e.samples % 64
+	if rem == 0 {
+		e.lastMask = ^uint64(0)
+	} else {
+		e.lastMask = (uint64(1) << uint(rem)) - 1
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	sim := logic.NewSimulator(ref)
+	e.inWords = make([][]uint64, e.nBatches)
+	e.refOut = make([][]uint64, e.nBatches)
+	for b := 0; b < e.nBatches; b++ {
+		in := make([]uint64, k)
+		if exhaustive {
+			logic.CountingWords(b*64, in)
+		} else {
+			logic.RandomInputWords(rng, in)
+		}
+		out := make([]uint64, len(ref.Outputs))
+		sim.Run(in, out)
+		e.inWords[b] = in
+		e.refOut[b] = append([]uint64(nil), out...)
+	}
+	e.exhaustive = exhaustive
+	return e, nil
+}
+
+// Samples returns the effective sample count.
+func (e *Evaluator) Samples() int { return e.samples }
+
+// Reference returns the accurate circuit.
+func (e *Evaluator) Reference() *logic.Circuit { return e.ref }
+
+// Spec returns the output interpretation.
+func (e *Evaluator) Spec() OutputSpec { return e.spec }
+
+// Compare evaluates the approximate circuit. It must have the same input and
+// output counts as the reference.
+func (e *Evaluator) Compare(approx *logic.Circuit) (Report, error) {
+	if len(approx.Inputs) != len(e.ref.Inputs) || len(approx.Outputs) != len(e.ref.Outputs) {
+		return Report{}, fmt.Errorf("qor: approximate circuit I/O %d/%d, reference %d/%d",
+			len(approx.Inputs), len(approx.Outputs), len(e.ref.Inputs), len(e.ref.Outputs))
+	}
+	sim := logic.NewSimulator(approx)
+	out := make([]uint64, len(approx.Outputs))
+
+	rep := Report{Samples: e.samples, Exact: e.exhaustive}
+	nGroups := len(e.spec.Groups)
+	sumRel := make([]float64, nGroups)
+	sumAbs := make([]float64, nGroups)
+	sumSq := make([]float64, nGroups)
+	var hamming int64
+	var errSamples int64
+
+	for b := 0; b < e.nBatches; b++ {
+		sim.Run(e.inWords[b], out)
+		refOut := e.refOut[b]
+		mask := ^uint64(0)
+		if b == e.nBatches-1 {
+			mask = e.lastMask
+		}
+		var anyDiff uint64
+		for o := range out {
+			d := (out[o] ^ refOut[o]) & mask
+			hamming += int64(bits.OnesCount64(d))
+			anyDiff |= d
+		}
+		errSamples += int64(bits.OnesCount64(anyDiff))
+		if anyDiff == 0 {
+			continue // bit-exact batch: no numeric error either
+		}
+		for gi := range e.spec.Groups {
+			g := &e.spec.Groups[gi]
+			// Only decode lanes with some mismatch in this group's bits.
+			var groupDiff uint64
+			for _, bit := range g.Bits {
+				groupDiff |= (out[bit] ^ refOut[bit]) & mask
+			}
+			for lanes := groupDiff; lanes != 0; lanes &= lanes - 1 {
+				lane := uint(bits.TrailingZeros64(lanes))
+				rv := decode(refOut, g, lane)
+				av := decode(out, g, lane)
+				abs := math.Abs(av - rv)
+				rel := abs / math.Max(math.Abs(rv), 1)
+				sumAbs[gi] += abs
+				sumSq[gi] += abs * abs
+				sumRel[gi] += rel
+				if rel > rep.WorstRel {
+					rep.WorstRel = rel
+				}
+				if abs > rep.WorstAbs {
+					rep.WorstAbs = abs
+				}
+			}
+		}
+	}
+
+	n := float64(e.samples)
+	for gi := range e.spec.Groups {
+		g := &e.spec.Groups[gi]
+		rep.AvgRel += sumRel[gi] / n
+		rep.AvgAbs += sumAbs[gi] / n
+		rep.NormAvgAbs += sumAbs[gi] / n / g.MaxValue()
+		rep.MeanSquared += sumSq[gi] / n
+	}
+	if nGroups > 0 {
+		rep.AvgRel /= float64(nGroups)
+		rep.AvgAbs /= float64(nGroups)
+		rep.NormAvgAbs /= float64(nGroups)
+		rep.MeanSquared /= float64(nGroups)
+	}
+	rep.MeanHam = float64(hamming) / n
+	rep.ErrRate = float64(errSamples) / n
+	return rep, nil
+}
+
+// decode extracts the group's numeric value for one sample lane.
+func decode(out []uint64, g *Group, lane uint) float64 {
+	var v uint64
+	for j, bit := range g.Bits {
+		v |= ((out[bit] >> lane) & 1) << uint(j)
+	}
+	if g.Signed {
+		n := uint(len(g.Bits))
+		if v&(1<<(n-1)) != 0 {
+			return float64(int64(v) - int64(1)<<n)
+		}
+	}
+	return float64(v)
+}

@@ -1,0 +1,138 @@
+package salsa
+
+import (
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+func rippleAdder(n int) *logic.Circuit {
+	b := logic.NewBuilder("adder")
+	as := b.Inputs("a", n)
+	bs := b.Inputs("b", n)
+	carry := b.Const(false)
+	var sums []logic.NodeID
+	for i := 0; i < n; i++ {
+		axb := b.Xor(as[i], bs[i])
+		sums = append(sums, b.Xor(axb, carry))
+		carry = b.Or(b.And(as[i], bs[i]), b.And(axb, carry))
+	}
+	sums = append(sums, carry)
+	b.Outputs("s", sums)
+	return b.C
+}
+
+func TestBaselineReducesAreaWithinThreshold(t *testing.T) {
+	c := rippleAdder(12)
+	spec := qor.Unsigned("sum", 13)
+	cfg := Config{Threshold: 0.05, Samples: 1 << 12, Seed: 3}
+	res, err := Approximate(c, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("baseline accepted no transforms on a 12-bit adder at 5%")
+	}
+	// Verify the reported error independently.
+	eval, err := qor.NewEvaluator(logic.ReorderDFS(c), spec, 1<<13, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.Compare(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgRel > 2*cfg.Threshold {
+		t.Errorf("independent error %v far above threshold %v", rep.AvgRel, cfg.Threshold)
+	}
+	// Mapped area must shrink.
+	lib := techmap.DefaultLibrary()
+	orig, err := techmap.Map(logic.ReorderDFS(c), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appr, err := techmap.Map(res.Circuit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appr.Area() >= orig.Area() {
+		t.Errorf("baseline area %.1f >= original %.1f", appr.Area(), orig.Area())
+	}
+}
+
+func TestBaselineZeroThresholdKeepsFunction(t *testing.T) {
+	c := rippleAdder(6)
+	spec := qor.Unsigned("sum", 7)
+	cfg := Config{Threshold: 1e-9, Samples: 1 << 12, Seed: 5}
+	res, err := Approximate(c, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := qor.NewEvaluator(logic.ReorderDFS(c), spec, 1<<12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.Compare(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing above threshold 1e-9 can be accepted except exact rewrites.
+	if rep.AvgRel > 1e-9 {
+		t.Errorf("zero-threshold baseline changed the function: %v", rep.AvgRel)
+	}
+}
+
+func TestConeWindow(t *testing.T) {
+	c := logic.ReorderDFS(rippleAdder(8))
+	for o, driver := range c.Outputs {
+		if c.Nodes[driver].Op == logic.Const0 || c.Nodes[driver].Op == logic.Const1 ||
+			c.Nodes[driver].Op == logic.Input {
+			continue
+		}
+		leaves, ok := coneWindow(c, driver, 8)
+		if !ok {
+			continue
+		}
+		if len(leaves) > 8 {
+			t.Fatalf("output %d: window has %d leaves", o, len(leaves))
+		}
+		// The extracted table must match direct evaluation on the window.
+		table := coneTable(c, driver, leaves)
+		if table.NumVars() != len(leaves) {
+			t.Fatalf("output %d: table vars %d != leaves %d", o, table.NumVars(), len(leaves))
+		}
+	}
+}
+
+func TestIsolationDC(t *testing.T) {
+	// XOR function: every minterm disagrees with all neighbours; the DC
+	// selector should find plenty of candidates and respect the budget.
+	x := tt.Var(4, 0).Xor(tt.Var(4, 1)).Xor(tt.Var(4, 2)).Xor(tt.Var(4, 3))
+	dc := isolationDC(x, 0.25)
+	if dc.CountOnes() == 0 {
+		t.Fatal("no don't-cares selected for XOR")
+	}
+	if dc.CountOnes() > 4 {
+		t.Fatalf("budget exceeded: %d DCs for frac 0.25 of 16", dc.CountOnes())
+	}
+	// A constant function has no isolated minterms.
+	flat := tt.NewTable(4)
+	if got := isolationDC(flat, 0.5).CountOnes(); got != 0 {
+		t.Errorf("constant function got %d DCs", got)
+	}
+}
+
+func TestOutputOrderLSBFirst(t *testing.T) {
+	c := rippleAdder(4)
+	spec := qor.Unsigned("sum", 5)
+	order := outputOrder(c, spec)
+	if len(order) != 5 {
+		t.Fatalf("order has %d entries", len(order))
+	}
+	if order[0] != 0 || order[len(order)-1] != 4 {
+		t.Errorf("order %v not LSB-first", order)
+	}
+}

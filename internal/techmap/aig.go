@@ -1,0 +1,152 @@
+package techmap
+
+import (
+	"fmt"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+// The AIG uses AIGER-style literals: literal = 2*node + complement.
+// Node 0 is the constant, so literal 0 = false and literal 1 = true.
+type lit = uint32
+
+const (
+	litFalse lit = 0
+	litTrue  lit = 1
+)
+
+func litNode(l lit) uint32 { return l >> 1 }
+func litNeg(l lit) lit     { return l ^ 1 }
+func litCompl(l lit) bool  { return l&1 == 1 }
+
+type aigNode struct {
+	f0, f1 lit // fanin literals; PIs and the constant have none
+	isPI   bool
+}
+
+type aig struct {
+	nodes []aigNode
+	pis   []uint32 // node indices of primary inputs, in circuit order
+	outs  []lit    // output literals, in circuit order
+	hash  map[[2]lit]uint32
+}
+
+func newAIG() *aig {
+	return &aig{nodes: []aigNode{{}}, hash: make(map[[2]lit]uint32)}
+}
+
+func (g *aig) addPI() lit {
+	id := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, aigNode{isPI: true})
+	g.pis = append(g.pis, id)
+	return id << 1
+}
+
+// mkAnd returns a literal for a AND b with structural hashing and constant /
+// identity folding.
+func (g *aig) mkAnd(a, b lit) lit {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == litFalse:
+		return litFalse
+	case a == litTrue:
+		return b
+	case a == b:
+		return a
+	case a == litNeg(b):
+		return litFalse
+	}
+	key := [2]lit{a, b}
+	if id, ok := g.hash[key]; ok {
+		return id << 1
+	}
+	id := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, aigNode{f0: a, f1: b})
+	g.hash[key] = id
+	return id << 1
+}
+
+func (g *aig) mkOr(a, b lit) lit  { return litNeg(g.mkAnd(litNeg(a), litNeg(b))) }
+func (g *aig) mkXor(a, b lit) lit { return g.mkOr(g.mkAnd(a, litNeg(b)), g.mkAnd(litNeg(a), b)) }
+func (g *aig) mkMux(s, a0, a1 lit) lit {
+	return g.mkOr(g.mkAnd(s, a1), g.mkAnd(litNeg(s), a0))
+}
+
+// fromCircuit lowers a logic.Circuit into an AIG. The returned AIG has one
+// PI per circuit input and one output literal per circuit output.
+func fromCircuit(c *logic.Circuit) (*aig, error) {
+	g := newAIG()
+	lits := make([]lit, len(c.Nodes))
+	for i := range lits {
+		lits[i] = ^lit(0)
+	}
+	lits[0] = litFalse
+	lits[1] = litTrue
+	for _, in := range c.Inputs {
+		lits[in] = g.addPI()
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Op {
+		case logic.Const0, logic.Const1, logic.Input:
+			continue
+		}
+		a := lits[n.Fanin[0]]
+		var b, s lit
+		if n.Nfanin > 1 {
+			b = lits[n.Fanin[1]]
+		}
+		if n.Nfanin > 2 {
+			s = lits[n.Fanin[2]]
+		}
+		if a == ^lit(0) || (n.Nfanin > 1 && b == ^lit(0)) || (n.Nfanin > 2 && s == ^lit(0)) {
+			return nil, fmt.Errorf("techmap: node %d has undefined fanin", i)
+		}
+		switch n.Op {
+		case logic.Buf:
+			lits[i] = a
+		case logic.Not:
+			lits[i] = litNeg(a)
+		case logic.And:
+			lits[i] = g.mkAnd(a, b)
+		case logic.Or:
+			lits[i] = g.mkOr(a, b)
+		case logic.Xor:
+			lits[i] = g.mkXor(a, b)
+		case logic.Nand:
+			lits[i] = litNeg(g.mkAnd(a, b))
+		case logic.Nor:
+			lits[i] = litNeg(g.mkOr(a, b))
+		case logic.Xnor:
+			lits[i] = litNeg(g.mkXor(a, b))
+		case logic.Mux:
+			lits[i] = g.mkMux(a, b, s)
+		default:
+			return nil, fmt.Errorf("techmap: unsupported op %s", n.Op)
+		}
+	}
+	for _, o := range c.Outputs {
+		g.outs = append(g.outs, lits[o])
+	}
+	return g, nil
+}
+
+// numAnds counts AND nodes (total nodes minus constant and PIs).
+func (g *aig) numAnds() int { return len(g.nodes) - 1 - len(g.pis) }
+
+// fanoutCounts returns per-node reference counts (fanins of AND nodes plus
+// output literals).
+func (g *aig) fanoutCounts() []int {
+	counts := make([]int, len(g.nodes))
+	for i := 1 + len(g.pis); i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		counts[litNode(n.f0)]++
+		counts[litNode(n.f1)]++
+	}
+	for _, o := range g.outs {
+		counts[litNode(o)]++
+	}
+	return counts
+}

@@ -1,0 +1,381 @@
+package techmap
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+const (
+	maxCutLeaves = 4
+	maxCutsPer   = 8
+)
+
+type cut struct {
+	leaves []uint32 // sorted AIG node ids
+	tt     uint16   // root function over leaves (leaf i = variable i)
+}
+
+func (c *cut) sig() uint64 {
+	var s uint64
+	for _, l := range c.leaves {
+		s |= 1 << (l % 64)
+	}
+	return s
+}
+
+// match is one realizable implementation of a node: a cut, a cell, the
+// pin permutation, per-leaf input inverters, and an optional output inverter.
+type match struct {
+	cut      int // index into the node's cut list
+	cell     int
+	perm     [4]uint8
+	phase    uint8 // bit i set -> leaf i enters the cell through an inverter
+	outNeg   bool
+	areaFlow float64
+	arrival  float64
+}
+
+// Map covers the circuit with library cells. The input circuit is first
+// lowered to an AIG; the mapped result is functionally equivalent to the
+// input (verified by the package tests via simulation).
+func Map(c *logic.Circuit, lib *Library) (*Mapped, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := fromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	m := &mapper{g: g, lib: lib}
+	m.enumerateCuts()
+	m.selectMatches()
+	return m.extract(c)
+}
+
+type mapper struct {
+	g    *aig
+	lib  *Library
+	cuts [][]cut
+	best []match // per node; only meaningful for AND nodes
+	refs []int
+}
+
+// enumerateCuts computes priority cuts bottom-up.
+func (m *mapper) enumerateCuts() {
+	g := m.g
+	m.cuts = make([][]cut, len(g.nodes))
+	for _, pi := range g.pis {
+		m.cuts[pi] = []cut{{leaves: []uint32{pi}, tt: 0b10}}
+	}
+	firstAnd := 1 + len(g.pis)
+	for i := firstAnd; i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		c0s := m.cuts[litNode(n.f0)]
+		c1s := m.cuts[litNode(n.f1)]
+		var out []cut
+		for _, a := range c0s {
+			for _, b := range c1s {
+				merged, ok := mergeLeaves(a.leaves, b.leaves)
+				if !ok {
+					continue
+				}
+				ta := expandTT(a.tt, a.leaves, merged)
+				tb := expandTT(b.tt, b.leaves, merged)
+				if litCompl(n.f0) {
+					ta = ^ta
+				}
+				if litCompl(n.f1) {
+					tb = ^tb
+				}
+				nt := ta & tb & ttMask(len(merged))
+				// Drop leaves outside the function's support.
+				sup := ttSupport(nt, len(merged))
+				if bits.OnesCount8(sup) < len(merged) {
+					ct, nv := ttCompress(nt, len(merged), sup)
+					var kept []uint32
+					for v, l := range merged {
+						if sup&(1<<uint(v)) != 0 {
+							kept = append(kept, l)
+						}
+					}
+					out = append(out, cut{leaves: kept, tt: ct & ttMask(nv)})
+					continue
+				}
+				out = append(out, cut{leaves: merged, tt: nt})
+			}
+		}
+		out = append(out, cut{leaves: []uint32{uint32(i)}, tt: 0b10})
+		m.cuts[i] = pruneCuts(out)
+	}
+}
+
+func ttMask(n int) uint16 {
+	if n >= 4 {
+		return 0xFFFF
+	}
+	return uint16(1)<<(1<<uint(n)) - 1
+}
+
+// mergeLeaves unions two sorted leaf lists, failing if the result exceeds
+// maxCutLeaves.
+func mergeLeaves(a, b []uint32) ([]uint32, bool) {
+	out := make([]uint32, 0, maxCutLeaves)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v uint32
+		switch {
+		case i == len(a):
+			v = b[j]
+			j++
+		case j == len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case a[i] > b[j]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == maxCutLeaves {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// expandTT re-expresses a truth table over oldLeaves as one over newLeaves
+// (a superset, both sorted).
+func expandTT(ttab uint16, oldLeaves, newLeaves []uint32) uint16 {
+	if len(oldLeaves) == len(newLeaves) {
+		return ttab
+	}
+	// posMap[i] = position of oldLeaves[i] in newLeaves.
+	var posMap [maxCutLeaves]int
+	j := 0
+	for i, l := range oldLeaves {
+		for newLeaves[j] != l {
+			j++
+		}
+		posMap[i] = j
+	}
+	var out uint16
+	for r := 0; r < 1<<uint(len(newLeaves)); r++ {
+		var q int
+		for i := range oldLeaves {
+			if r&(1<<uint(posMap[i])) != 0 {
+				q |= 1 << uint(i)
+			}
+		}
+		if ttab&(1<<uint(q)) != 0 {
+			out |= 1 << uint(r)
+		}
+	}
+	return out
+}
+
+// pruneCuts dedupes, removes dominated cuts, and keeps the best few
+// (fewest leaves first).
+func pruneCuts(cs []cut) []cut {
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i].leaves) < len(cs[j].leaves) })
+	var out []cut
+	for _, c := range cs {
+		dominated := false
+		cSig := c.sig()
+		for _, d := range out {
+			if subsetOf(d.leaves, c.leaves, d.sig(), cSig) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+			if len(out) == maxCutsPer {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func subsetOf(a, b []uint32, sigA, sigB uint64) bool {
+	if sigA&^sigB != 0 || len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j == len(b) || b[j] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// selectMatches runs the area-flow dynamic program over AND nodes.
+func (m *mapper) selectMatches() {
+	g := m.g
+	m.refs = g.fanoutCounts()
+	m.best = make([]match, len(g.nodes))
+	flow := make([]float64, len(g.nodes))
+	arr := make([]float64, len(g.nodes))
+	invArea := m.lib.Cells[m.lib.inv].Area
+	invDelay := m.lib.Cells[m.lib.inv].Delay
+
+	firstAnd := 1 + len(g.pis)
+	for i := firstAnd; i < len(g.nodes); i++ {
+		bestMatch := match{cut: -1, areaFlow: 1e18, arrival: 1e18}
+		for ci, c := range m.cuts[i] {
+			if len(c.leaves) == 1 && c.leaves[0] == uint32(i) {
+				continue // trivial self-cut cannot implement the node
+			}
+			n := len(c.leaves)
+			// Try all input phase assignments; each negated input costs
+			// one (possibly shared, but conservatively counted) inverter.
+			for phase := uint8(0); phase < 1<<uint(n); phase++ {
+				ttp := applyPhase(c.tt, n, phase)
+				e, neg, ok := m.lib.lookup(n, ttp)
+				if !ok {
+					continue
+				}
+				cell := m.lib.Cells[e.cell]
+				area := cell.Area + float64(bits.OnesCount8(phase))*invArea
+				delay := cell.Delay
+				if neg {
+					area += invArea
+					delay += invDelay
+				}
+				af := area
+				at := 0.0
+				for li, leaf := range c.leaves {
+					af += flow[leaf]
+					d := arr[leaf]
+					if phase&(1<<uint(li)) != 0 {
+						d += invDelay
+					}
+					if d > at {
+						at = d
+					}
+				}
+				at += delay
+				if af < bestMatch.areaFlow || (af == bestMatch.areaFlow && at < bestMatch.arrival) {
+					bestMatch = match{cut: ci, cell: e.cell, perm: e.perm,
+						phase: phase, outNeg: neg, areaFlow: af, arrival: at}
+				}
+			}
+		}
+		if bestMatch.cut == -1 {
+			// Cannot happen with a complete library (the 2-leaf fanin cut
+			// always matches AND2/NAND2 under some phase), but guard anyway.
+			panic(fmt.Sprintf("techmap: no match for AIG node %d", i))
+		}
+		m.best[i] = bestMatch
+		refs := m.refs[i]
+		if refs < 1 {
+			refs = 1
+		}
+		flow[i] = bestMatch.areaFlow / float64(refs)
+		arr[i] = bestMatch.arrival
+	}
+}
+
+// applyPhase complements the selected input variables of a truth table:
+// result(r) = tt(r XOR phase).
+func applyPhase(ttab uint16, n int, phase uint8) uint16 {
+	if phase == 0 {
+		return ttab
+	}
+	var out uint16
+	for r := 0; r < 1<<uint(n); r++ {
+		if ttab&(1<<uint(r^int(phase))) != 0 {
+			out |= 1 << uint(r)
+		}
+	}
+	return out
+}
+
+// extract walks from the outputs and instantiates the chosen matches.
+func (m *mapper) extract(src *logic.Circuit) (*Mapped, error) {
+	g := m.g
+	mc := &Mapped{
+		Lib:         m.lib,
+		NumInputs:   len(g.pis),
+		InputNames:  append([]string(nil), src.InputNames...),
+		OutputNames: append([]string(nil), src.OutputNames...),
+		Name:        src.Name,
+	}
+	netOf := make(map[uint32]int) // AIG node -> net carrying its positive function
+	invOf := make(map[int]int)    // net -> net of its inversion
+	piNet := make(map[uint32]int) // PI node -> net
+	for i, pi := range g.pis {
+		piNet[pi] = i
+	}
+	tieNet := map[bool]int{}
+
+	var netFor func(node uint32) int
+	netFor = func(node uint32) int {
+		if n, ok := piNet[node]; ok {
+			return n
+		}
+		if n, ok := netOf[node]; ok {
+			return n
+		}
+		b := m.best[node]
+		c := m.cuts[node][b.cut]
+		// Resolve leaf nets first (post-order).
+		pins := make([]int, m.lib.Cells[b.cell].NumInputs)
+		for li, leaf := range c.leaves {
+			ln := netFor(leaf)
+			if b.phase&(1<<uint(li)) != 0 {
+				ln = mc.addInv(invOf, ln)
+			}
+			pins[b.perm[li]] = ln
+		}
+		net := mc.addInstance(b.cell, pins)
+		if b.outNeg {
+			net = mc.addInv(invOf, net)
+		}
+		netOf[node] = net
+		return net
+	}
+
+	constNet := func(v bool) int {
+		if n, ok := tieNet[v]; ok {
+			return n
+		}
+		cell := m.lib.tie0
+		if v {
+			cell = m.lib.tie1
+		}
+		n := mc.addInstance(cell, nil)
+		tieNet[v] = n
+		return n
+	}
+
+	for _, o := range g.outs {
+		var net int
+		switch {
+		case o == litFalse:
+			net = constNet(false)
+		case o == litTrue:
+			net = constNet(true)
+		default:
+			net = netFor(litNode(o))
+			if litCompl(o) {
+				net = mc.addInv(invOf, net)
+			}
+		}
+		mc.Outputs = append(mc.Outputs, net)
+	}
+	return mc, nil
+}

@@ -1,0 +1,241 @@
+package techmap
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+// Instance is one placed standard cell. Fanins reference nets: net i for
+// i < NumInputs is primary input i; net NumInputs+j is the output of
+// Instances[j].
+type Instance struct {
+	Cell   int
+	Fanins []int
+}
+
+// Mapped is a technology-mapped netlist over a Library.
+type Mapped struct {
+	Name        string
+	Lib         *Library
+	Instances   []Instance
+	NumInputs   int
+	Outputs     []int // net ids
+	InputNames  []string
+	OutputNames []string
+}
+
+// addInstance appends an instance and returns its output net id.
+func (m *Mapped) addInstance(cell int, fanins []int) int {
+	m.Instances = append(m.Instances, Instance{Cell: cell, Fanins: fanins})
+	return m.NumInputs + len(m.Instances) - 1
+}
+
+// addInv returns a net carrying the inversion of net, creating (and caching)
+// an INV instance on first use.
+func (m *Mapped) addInv(cache map[int]int, net int) int {
+	if n, ok := cache[net]; ok {
+		return n
+	}
+	n := m.addInstance(m.Lib.inv, []int{net})
+	cache[net] = n
+	return n
+}
+
+// NumCells returns the instance count.
+func (m *Mapped) NumCells() int { return len(m.Instances) }
+
+// Area returns the total cell area in µm².
+func (m *Mapped) Area() float64 {
+	a := 0.0
+	for _, inst := range m.Instances {
+		a += m.Lib.Cells[inst.Cell].Area
+	}
+	return a
+}
+
+// fanoutCounts returns per-net fanout (cell pins plus primary outputs).
+func (m *Mapped) fanoutCounts() []int {
+	counts := make([]int, m.NumInputs+len(m.Instances))
+	for _, inst := range m.Instances {
+		for _, f := range inst.Fanins {
+			counts[f]++
+		}
+	}
+	for _, o := range m.Outputs {
+		counts[o]++
+	}
+	return counts
+}
+
+// loadSlope is the extra delay per additional fanout, a crude wire/load
+// model (ns per fanout).
+const loadSlope = 0.003
+
+// Delay returns the critical-path delay in ns: topological arrival times
+// with per-cell intrinsic delay plus a linear load term.
+func (m *Mapped) Delay() float64 {
+	arr := make([]float64, m.NumInputs+len(m.Instances))
+	fan := m.fanoutCounts()
+	for j, inst := range m.Instances {
+		cell := m.Lib.Cells[inst.Cell]
+		at := 0.0
+		for _, f := range inst.Fanins {
+			if arr[f] > at {
+				at = arr[f]
+			}
+		}
+		net := m.NumInputs + j
+		load := 0.0
+		if fan[net] > 1 {
+			load = loadSlope * float64(fan[net]-1)
+		}
+		arr[net] = at + cell.Delay + load
+	}
+	d := 0.0
+	for _, o := range m.Outputs {
+		if arr[o] > d {
+			d = arr[o]
+		}
+	}
+	return d
+}
+
+// Simulate evaluates the mapped netlist on one 64-sample batch.
+// inputWords[i] carries primary input i. The per-net word buffer is
+// returned (length NumInputs+NumCells); output net values can be read via
+// the Outputs indices.
+func (m *Mapped) Simulate(inputWords []uint64, nets []uint64) []uint64 {
+	if len(inputWords) != m.NumInputs {
+		panic(fmt.Sprintf("techmap: Simulate: got %d input words, want %d", len(inputWords), m.NumInputs))
+	}
+	if nets == nil {
+		nets = make([]uint64, m.NumInputs+len(m.Instances))
+	}
+	copy(nets, inputWords)
+	for j, inst := range m.Instances {
+		cell := m.Lib.Cells[inst.Cell]
+		var out uint64
+		switch cell.NumInputs {
+		case 0:
+			if cell.TT&1 != 0 {
+				out = ^uint64(0)
+			}
+		default:
+			// Evaluate the cell truth table minterm by minterm.
+			for r := 0; r < 1<<uint(cell.NumInputs); r++ {
+				if cell.TT&(1<<uint(r)) == 0 {
+					continue
+				}
+				term := ^uint64(0)
+				for p := 0; p < cell.NumInputs; p++ {
+					w := nets[inst.Fanins[p]]
+					if r&(1<<uint(p)) == 0 {
+						w = ^w
+					}
+					term &= w
+				}
+				out |= term
+			}
+		}
+		nets[m.NumInputs+j] = out
+	}
+	return nets
+}
+
+// OutputWords extracts the output net values from a Simulate buffer.
+func (m *Mapped) OutputWords(nets []uint64, out []uint64) []uint64 {
+	if out == nil {
+		out = make([]uint64, len(m.Outputs))
+	}
+	for i, o := range m.Outputs {
+		out[i] = nets[o]
+	}
+	return out
+}
+
+// Power estimates total power in µW at the given clock frequency (GHz):
+// switching power from Monte-Carlo toggle rates (samples random vectors,
+// counting transitions between consecutive vectors) plus cell leakage.
+// Samples below 128 are raised to 128.
+func (m *Mapped) Power(samples int, seed int64, freqGHz float64) float64 {
+	if samples < 128 {
+		samples = 128
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, m.NumInputs)
+	nets := make([]uint64, m.NumInputs+len(m.Instances))
+	toggles := make([]int64, len(m.Instances))
+	last := make([]uint64, len(m.Instances))
+	haveLast := false
+
+	batches := (samples + 63) / 64
+	for b := 0; b < batches; b++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		m.Simulate(in, nets)
+		for j := range m.Instances {
+			w := nets[m.NumInputs+j]
+			// Transitions within the batch: compare adjacent sample lanes.
+			toggles[j] += int64(bits.OnesCount64((w ^ (w << 1)) &^ 1))
+			if haveLast {
+				// Transition across the batch boundary.
+				if (w^(last[j]>>63))&1 != 0 {
+					toggles[j]++
+				}
+			}
+			last[j] = w
+		}
+		haveLast = true
+	}
+	cycles := float64(batches*64 - 1)
+	power := 0.0
+	for j, inst := range m.Instances {
+		cell := m.Lib.Cells[inst.Cell]
+		rate := float64(toggles[j]) / cycles
+		power += rate * cell.Energy * freqGHz // fJ * GHz = µW
+		power += cell.Leakage / 1000          // nW -> µW
+	}
+	return power
+}
+
+// Metrics bundles the three design metrics reported throughout the paper.
+type Metrics struct {
+	Area  float64 // µm²
+	Power float64 // µW
+	Delay float64 // ns
+	Cells int
+}
+
+// Metrics evaluates area, power (at 1 GHz with the given Monte-Carlo sample
+// count and seed), and delay.
+func (m *Mapped) Metrics(powerSamples int, seed int64) Metrics {
+	return Metrics{
+		Area:  m.Area(),
+		Power: m.Power(powerSamples, seed, 1.0),
+		Delay: m.Delay(),
+		Cells: m.NumCells(),
+	}
+}
+
+// CellCounts returns a histogram of cell names for reporting.
+func (m *Mapped) CellCounts() map[string]int {
+	h := make(map[string]int)
+	for _, inst := range m.Instances {
+		h[m.Lib.Cells[inst.Cell].Name]++
+	}
+	return h
+}
+
+// String renders a summary plus per-cell histogram.
+func (m *Mapped) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapped %s: %d cells, area %.1f um^2, delay %.3f ns\n",
+		m.Name, m.NumCells(), m.Area(), m.Delay())
+	for name, n := range m.CellCounts() {
+		fmt.Fprintf(&b, "  %-8s %d\n", name, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package techmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+func TestDefaultLibraryComplete(t *testing.T) {
+	lib := DefaultLibrary()
+	if lib.inv == -1 || lib.tie0 == -1 || lib.tie1 == -1 {
+		t.Fatal("library missing mandatory cells")
+	}
+	for _, name := range []string{"INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI21", "MUX2", "XOR3", "MAJ3"} {
+		if lib.CellByName(name) == -1 {
+			t.Errorf("missing cell %s", name)
+		}
+	}
+	// Every 2-input cell function must be found via lookup.
+	for _, c := range lib.Cells {
+		if c.NumInputs == 0 {
+			continue
+		}
+		if _, _, ok := lib.lookup(c.NumInputs, c.TT); !ok {
+			t.Errorf("cell %s not matchable through its own table", c.Name)
+		}
+	}
+}
+
+func TestPermuteTT(t *testing.T) {
+	// f(a,b,c) = a AND NOT b, independent of c; permute pins.
+	var f uint16
+	for r := 0; r < 8; r++ {
+		if r&1 != 0 && r&2 == 0 {
+			f |= 1 << uint(r)
+		}
+	}
+	p := []uint8{1, 0, 2} // leaf0 -> pin1, leaf1 -> pin0
+	g := permuteTT(f, 3, p)
+	// g(x0,x1,x2) = f(x1, x0, x2) = x1 AND NOT x0.
+	for r := 0; r < 8; r++ {
+		want := r&2 != 0 && r&1 == 0
+		if g&(1<<uint(r)) != 0 != want {
+			t.Errorf("permuted TT wrong at %d", r)
+		}
+	}
+}
+
+func TestTTSupportAndCompress(t *testing.T) {
+	// f over 3 leaves = leaf0 XOR leaf2 (leaf1 irrelevant).
+	var f uint16
+	for r := 0; r < 8; r++ {
+		if (r&1 != 0) != (r&4 != 0) {
+			f |= 1 << uint(r)
+		}
+	}
+	sup := ttSupport(f, 3)
+	if sup != 0b101 {
+		t.Fatalf("support = %03b, want 101", sup)
+	}
+	ct, n := ttCompress(f, 3, sup)
+	if n != 2 {
+		t.Fatalf("compressed to %d vars, want 2", n)
+	}
+	if ct&ttMask(2) != 0b0110 {
+		t.Errorf("compressed TT = %04b, want 0110", ct&ttMask(2))
+	}
+}
+
+func TestApplyPhase(t *testing.T) {
+	// AND2 with input 1 negated = a AND NOT b.
+	and2 := uint16(0b1000)
+	got := applyPhase(and2, 2, 0b10)
+	if got != 0b0010 {
+		t.Errorf("applyPhase = %04b, want 0010", got)
+	}
+}
+
+func buildRandomCircuit(rng *rand.Rand, nin, ngates, nout int) *logic.Circuit {
+	b := logic.NewBuilder("rand")
+	ids := b.Inputs("i", nin)
+	ops := []logic.Op{logic.And, logic.Or, logic.Xor, logic.Nand, logic.Nor, logic.Xnor, logic.Not, logic.Mux}
+	for g := 0; g < ngates; g++ {
+		op := ops[rng.Intn(len(ops))]
+		pick := func() logic.NodeID { return ids[rng.Intn(len(ids))] }
+		var id logic.NodeID
+		switch op.Arity() {
+		case 1:
+			id = b.Gate(op, pick())
+		case 2:
+			id = b.Gate(op, pick(), pick())
+		case 3:
+			id = b.Gate(op, pick(), pick(), pick())
+		}
+		ids = append(ids, id)
+	}
+	for o := 0; o < nout; o++ {
+		b.Output("", ids[nin+rng.Intn(ngates)])
+	}
+	return b.C
+}
+
+func TestMapPreservesFunction(t *testing.T) {
+	lib := DefaultLibrary()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		c := buildRandomCircuit(rng, 3+rng.Intn(6), 10+rng.Intn(120), 1+rng.Intn(6))
+		mapped, err := Map(c, lib)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Compare on random vectors.
+		sim := logic.NewSimulator(c)
+		in := make([]uint64, len(c.Inputs))
+		wantOut := make([]uint64, len(c.Outputs))
+		nets := make([]uint64, mapped.NumInputs+mapped.NumCells())
+		gotOut := make([]uint64, len(mapped.Outputs))
+		for batch := 0; batch < 8; batch++ {
+			logic.RandomInputWords(rng, in)
+			sim.Run(in, wantOut)
+			mapped.Simulate(in, nets)
+			mapped.OutputWords(nets, gotOut)
+			for o := range wantOut {
+				if wantOut[o] != gotOut[o] {
+					t.Fatalf("trial %d output %d: mapped netlist differs (want %x got %x)",
+						trial, o, wantOut[o], gotOut[o])
+				}
+			}
+		}
+	}
+}
+
+func TestMapConstantsAndPassthrough(t *testing.T) {
+	lib := DefaultLibrary()
+	b := logic.NewBuilder("consts")
+	a := b.Input("a")
+	b.Output("zero", b.Const(false))
+	b.Output("one", b.Const(true))
+	b.Output("wire", a)
+	b.Output("inv", b.Not(a))
+	mapped, err := Map(b.C, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []uint64{0xF0F0F0F0F0F0F0F0}
+	nets := mapped.Simulate(in, nil)
+	out := mapped.OutputWords(nets, nil)
+	if out[0] != 0 || out[1] != ^uint64(0) {
+		t.Error("constant outputs wrong")
+	}
+	if out[2] != in[0] || out[3] != ^in[0] {
+		t.Error("wire/inverter outputs wrong")
+	}
+}
+
+func TestMapUsesComplexCells(t *testing.T) {
+	// A clean XOR chain should map to XOR2/XOR3/XNOR cells, far fewer than
+	// the 4x overhead of NAND-only mapping.
+	lib := DefaultLibrary()
+	b := logic.NewBuilder("xors")
+	x := b.Inputs("x", 8)
+	acc := x[0]
+	for i := 1; i < 8; i++ {
+		acc = b.Xor(acc, x[i])
+	}
+	b.Output("p", acc)
+	mapped, err := Map(b.C, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := mapped.CellCounts()
+	xorish := counts["XOR2"] + counts["XNOR2"] + counts["XOR3"]
+	if xorish == 0 {
+		t.Errorf("no XOR cells used for parity tree: %v", counts)
+	}
+	if mapped.NumCells() > 10 {
+		t.Errorf("parity-of-8 used %d cells (%v), expected <= 10", mapped.NumCells(), counts)
+	}
+}
+
+func TestMetricsPositiveAndConsistent(t *testing.T) {
+	lib := DefaultLibrary()
+	rng := rand.New(rand.NewSource(33))
+	c := buildRandomCircuit(rng, 6, 60, 4)
+	mapped, err := Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mapped.Metrics(4096, 1)
+	if met.Area <= 0 || met.Delay <= 0 || met.Power <= 0 {
+		t.Errorf("non-positive metrics: %+v", met)
+	}
+	// Power must be deterministic for a fixed seed.
+	if p2 := mapped.Power(4096, 1, 1.0); p2 != met.Power {
+		t.Errorf("power not deterministic: %v vs %v", met.Power, p2)
+	}
+	// Area equals the sum over the histogram.
+	sum := 0.0
+	for name, n := range mapped.CellCounts() {
+		sum += lib.Cells[lib.CellByName(name)].Area * float64(n)
+	}
+	if diff := met.Area - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("area %v != histogram sum %v", met.Area, sum)
+	}
+}
+
+func TestSmallerCircuitSmallerArea(t *testing.T) {
+	// An 8-bit ripple adder must map to more area than a 4-bit one: the
+	// area metric must track circuit size.
+	lib := DefaultLibrary()
+	build := func(n int) *logic.Circuit {
+		b := logic.NewBuilder("add")
+		as := b.Inputs("a", n)
+		bs := b.Inputs("b", n)
+		carry := b.Const(false)
+		var sums []logic.NodeID
+		for i := 0; i < n; i++ {
+			s := b.Xor(b.Xor(as[i], bs[i]), carry)
+			carry = b.Or(b.And(as[i], bs[i]), b.And(b.Xor(as[i], bs[i]), carry))
+			sums = append(sums, s)
+		}
+		sums = append(sums, carry)
+		b.Outputs("s", sums)
+		return b.C
+	}
+	m4, err := Map(build(4), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := Map(build(8), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m8.Area() <= m4.Area() {
+		t.Errorf("8-bit adder area %.1f <= 4-bit adder area %.1f", m8.Area(), m4.Area())
+	}
+	if m8.Delay() <= m4.Delay() {
+		t.Errorf("8-bit adder delay %.3f <= 4-bit %.3f", m8.Delay(), m4.Delay())
+	}
+}
+
+func TestAIGConstruction(t *testing.T) {
+	b := logic.NewBuilder("aig")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("and", b.And(x, y))
+	b.Output("nand", b.Nand(x, y))
+	b.Output("const", b.Const(true))
+	g, err := fromCircuit(b.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.numAnds() != 1 {
+		t.Errorf("AIG has %d ANDs, want 1 (sharing across and/nand)", g.numAnds())
+	}
+	if g.outs[2] != litTrue {
+		t.Error("constant output literal wrong")
+	}
+	if g.outs[0] != litNeg(g.outs[1]) {
+		t.Error("and/nand outputs should be complements")
+	}
+}

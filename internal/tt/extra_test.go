@@ -1,0 +1,118 @@
+package tt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable(4)
+	tbl.Set(0, true)
+	tbl.Set(15, true)
+	s := tbl.String()
+	if !strings.HasPrefix(s, "1") || !strings.HasSuffix(s, "1") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(s, " ") {
+		t.Error("String should group entries every 8")
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	z := NewTable(4)
+	if c, v := z.IsConst(); !c || v {
+		t.Error("zero table not const-0")
+	}
+	o := z.Not()
+	if c, v := o.IsConst(); !c || !v {
+		t.Error("ones table not const-1")
+	}
+	z.Set(3, true)
+	if c, _ := z.IsConst(); c {
+		t.Error("mixed table reported const")
+	}
+}
+
+func TestTableFromBits(t *testing.T) {
+	bits := []bool{true, false, false, true}
+	tbl := TableFromBits(2, bits)
+	for i, want := range bits {
+		if tbl.Get(i) != want {
+			t.Errorf("entry %d = %v", i, tbl.Get(i))
+		}
+	}
+	mustPanic(t, func() { TableFromBits(2, []bool{true}) })
+}
+
+func TestTableFromUint64Guards(t *testing.T) {
+	mustPanic(t, func() { TableFromUint64(7, 0) })
+	mustPanic(t, func() { Var(3, 5) })
+	mustPanic(t, func() { NewTable(3).And(NewTable(4)) })
+	mustPanic(t, func() { NewTable(3).HammingDistance(NewTable(4)) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	f()
+}
+
+func TestWordsAliasing(t *testing.T) {
+	tbl := NewTable(7)
+	tbl.Set(64, true)
+	w := tbl.Words()
+	if len(w) != 2 || w[1]&1 != 1 {
+		t.Errorf("Words = %v", w)
+	}
+}
+
+func TestMatrixFromRowsMasksColumns(t *testing.T) {
+	m := MatrixFromRows(3, []uint64{0xFF, 0x05})
+	if m.Row[0] != 0x7 {
+		t.Errorf("row 0 not masked: %x", m.Row[0])
+	}
+	if m.Row[1] != 0x5 {
+		t.Errorf("row 1 = %x", m.Row[1])
+	}
+	if m.ColMask() != 0x7 {
+		t.Errorf("ColMask = %x", m.ColMask())
+	}
+	full := NewMatrix(2, 64)
+	if full.ColMask() != ^uint64(0) {
+		t.Error("64-col mask wrong")
+	}
+}
+
+func TestMatrixGuards(t *testing.T) {
+	mustPanic(t, func() { NewMatrix(2, 65) })
+	mustPanic(t, func() { NewMatrix(-1, 3) })
+	a, b := NewMatrix(2, 3), NewMatrix(3, 3)
+	mustPanic(t, func() { HammingDistance(a, b) })
+	mustPanic(t, func() { WeightedHamming(a, b, UniformWeights(3)) })
+	mustPanic(t, func() { WeightedHamming(a, a.Clone(), UniformWeights(2)) })
+	mustPanic(t, func() { BoolProductOR(NewMatrix(2, 3), NewMatrix(4, 2)) })
+	mustPanic(t, func() { BoolProductXOR(NewMatrix(2, 3), NewMatrix(4, 2)) })
+	c := NewMatrix(3, 2) // 3 rows: not a power of two
+	mustPanic(t, func() { c.Column(0) })
+	d := NewMatrix(4, 2)
+	mustPanic(t, func() { d.SetColumn(0, NewTable(3)) })
+}
+
+func TestMatrixCloneEqual(t *testing.T) {
+	m := MatrixFromRows(4, []uint64{0b1010, 0b0101})
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Set(0, 0, true)
+	if m.Equal(c) {
+		t.Error("mutation leaked into original")
+	}
+	if m.Equal(NewMatrix(2, 3)) {
+		t.Error("different shapes reported equal")
+	}
+}

@@ -1,0 +1,224 @@
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Matrix is a dense Boolean matrix with at most 64 columns, stored row-major
+// with one uint64 per row (column j of row r is bit j of Row[r]).
+//
+// This layout is chosen for the BMF inner loops: comparing two rows is a
+// single XOR+popcount, and OR-combining basis rows is a single OR.
+type Matrix struct {
+	Rows, Cols int
+	Row        []uint64
+}
+
+// NewMatrix returns an all-zero rows x cols matrix. cols must be in [0, 64].
+func NewMatrix(rows, cols int) *Matrix {
+	if cols < 0 || cols > 64 {
+		panic(fmt.Sprintf("tt: NewMatrix: cols=%d out of range [0,64]", cols))
+	}
+	if rows < 0 {
+		panic(fmt.Sprintf("tt: NewMatrix: rows=%d negative", rows))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Row: make([]uint64, rows)}
+}
+
+// MatrixFromRows builds a matrix from explicit row words.
+func MatrixFromRows(cols int, rows []uint64) *Matrix {
+	m := NewMatrix(len(rows), cols)
+	mask := m.ColMask()
+	for i, r := range rows {
+		m.Row[i] = r & mask
+	}
+	return m
+}
+
+// ColMask returns a word with the Cols low bits set.
+func (m *Matrix) ColMask() uint64 {
+	if m.Cols == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(m.Cols)) - 1
+}
+
+// Get returns element (r, c).
+func (m *Matrix) Get(r, c int) bool { return m.Row[r]&(1<<uint(c)) != 0 }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v bool) {
+	if v {
+		m.Row[r] |= 1 << uint(c)
+	} else {
+		m.Row[r] &^= 1 << uint(c)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Row, m.Row)
+	return c
+}
+
+// Equal reports element-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Row {
+		if m.Row[i] != o.Row[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Column extracts column c as a Table when Rows is a power of two
+// (rows are interpreted as input assignments).
+func (m *Matrix) Column(c int) *Table {
+	nvars := bits.Len(uint(m.Rows)) - 1
+	if 1<<uint(nvars) != m.Rows {
+		panic(fmt.Sprintf("tt: Column: rows=%d is not a power of two", m.Rows))
+	}
+	t := NewTable(nvars)
+	for r := 0; r < m.Rows; r++ {
+		if m.Get(r, c) {
+			t.Set(r, true)
+		}
+	}
+	return t
+}
+
+// SetColumn stores table t into column c. t.Len() must equal Rows.
+func (m *Matrix) SetColumn(c int, t *Table) {
+	if t.Len() != m.Rows {
+		panic(fmt.Sprintf("tt: SetColumn: table has %d entries, matrix has %d rows", t.Len(), m.Rows))
+	}
+	for r := 0; r < m.Rows; r++ {
+		m.Set(r, c, t.Get(r))
+	}
+}
+
+// CountOnes returns the total number of 1 entries.
+func (m *Matrix) CountOnes() int {
+	n := 0
+	for _, r := range m.Row {
+		n += bits.OnesCount64(r)
+	}
+	return n
+}
+
+// BoolProductOR computes the Boolean (OR-semiring) product B*C where
+// B is n x f and C is f x m: out[r][j] = OR_i (B[r][i] AND C[i][j]).
+func BoolProductOR(B, C *Matrix) *Matrix {
+	if B.Cols != C.Rows {
+		panic(fmt.Sprintf("tt: BoolProductOR: inner dims %d != %d", B.Cols, C.Rows))
+	}
+	out := NewMatrix(B.Rows, C.Cols)
+	for r := 0; r < B.Rows; r++ {
+		b := B.Row[r]
+		var acc uint64
+		for b != 0 {
+			i := bits.TrailingZeros64(b)
+			acc |= C.Row[i]
+			b &= b - 1
+		}
+		out.Row[r] = acc
+	}
+	return out
+}
+
+// BoolProductXOR computes the GF(2) (field) product B*C:
+// out[r][j] = XOR_i (B[r][i] AND C[i][j]).
+func BoolProductXOR(B, C *Matrix) *Matrix {
+	if B.Cols != C.Rows {
+		panic(fmt.Sprintf("tt: BoolProductXOR: inner dims %d != %d", B.Cols, C.Rows))
+	}
+	out := NewMatrix(B.Rows, C.Cols)
+	for r := 0; r < B.Rows; r++ {
+		b := B.Row[r]
+		var acc uint64
+		for b != 0 {
+			i := bits.TrailingZeros64(b)
+			acc ^= C.Row[i]
+			b &= b - 1
+		}
+		out.Row[r] = acc
+	}
+	return out
+}
+
+// HammingDistance counts differing entries between equally-shaped matrices.
+func HammingDistance(a, b *Matrix) int {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tt: HammingDistance: shape mismatch")
+	}
+	n := 0
+	for i := range a.Row {
+		n += bits.OnesCount64(a.Row[i] ^ b.Row[i])
+	}
+	return n
+}
+
+// WeightedHamming sums colWeights[j] over all entries (r, j) where a and b
+// differ. len(colWeights) must equal the column count.
+func WeightedHamming(a, b *Matrix, colWeights []float64) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tt: WeightedHamming: shape mismatch")
+	}
+	if len(colWeights) != a.Cols {
+		panic("tt: WeightedHamming: weight count mismatch")
+	}
+	var sum float64
+	for i := range a.Row {
+		d := a.Row[i] ^ b.Row[i]
+		for d != 0 {
+			j := bits.TrailingZeros64(d)
+			sum += colWeights[j]
+			d &= d - 1
+		}
+	}
+	return sum
+}
+
+// String renders the matrix one row per line, column 0 leftmost.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.Get(r, c) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		if r != m.Rows-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// UniformWeights returns a weight vector of n ones.
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// PowerOfTwoWeights returns the numeric-significance weight vector
+// {1, 2, 4, ...} used by the paper's weighted QoR: column j (bit j of the
+// output word) weighs 2^j.
+func PowerOfTwoWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(uint64(1) << uint(i))
+	}
+	return w
+}

@@ -1,0 +1,148 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	return m
+}
+
+func TestMatrixGetSet(t *testing.T) {
+	m := NewMatrix(4, 10)
+	m.Set(2, 9, true)
+	m.Set(0, 0, true)
+	if !m.Get(2, 9) || !m.Get(0, 0) || m.Get(1, 5) {
+		t.Error("Get/Set mismatch")
+	}
+	if m.CountOnes() != 2 {
+		t.Errorf("CountOnes = %d, want 2", m.CountOnes())
+	}
+	m.Set(2, 9, false)
+	if m.Get(2, 9) {
+		t.Error("clear failed")
+	}
+}
+
+func TestBoolProductORAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n, f, m := 1+rng.Intn(20), 1+rng.Intn(6), 1+rng.Intn(12)
+		B := randomMatrix(rng, n, f)
+		C := randomMatrix(rng, f, m)
+		got := BoolProductOR(B, C)
+		for r := 0; r < n; r++ {
+			for j := 0; j < m; j++ {
+				want := false
+				for i := 0; i < f; i++ {
+					if B.Get(r, i) && C.Get(i, j) {
+						want = true
+						break
+					}
+				}
+				if got.Get(r, j) != want {
+					t.Fatalf("OR product mismatch at (%d,%d)", r, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBoolProductXORAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n, f, m := 1+rng.Intn(20), 1+rng.Intn(6), 1+rng.Intn(12)
+		B := randomMatrix(rng, n, f)
+		C := randomMatrix(rng, f, m)
+		got := BoolProductXOR(B, C)
+		for r := 0; r < n; r++ {
+			for j := 0; j < m; j++ {
+				want := false
+				for i := 0; i < f; i++ {
+					if B.Get(r, i) && C.Get(i, j) {
+						want = !want
+					}
+				}
+				if got.Get(r, j) != want {
+					t.Fatalf("XOR product mismatch at (%d,%d)", r, j)
+				}
+			}
+		}
+	}
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMatrix(rng, 16, 5) // 16 rows = 4 vars
+	for c := 0; c < 5; c++ {
+		col := m.Column(c)
+		if col.NumVars() != 4 {
+			t.Fatalf("Column nvars = %d, want 4", col.NumVars())
+		}
+		m2 := NewMatrix(16, 5)
+		m2.SetColumn(c, col)
+		for r := 0; r < 16; r++ {
+			if m2.Get(r, c) != m.Get(r, c) {
+				t.Fatalf("round-trip mismatch col %d row %d", c, r)
+			}
+		}
+	}
+}
+
+func TestWeightedHammingConsistency(t *testing.T) {
+	// With uniform weights, WeightedHamming == HammingDistance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(16)
+		a := randomMatrix(rng, rows, cols)
+		b := randomMatrix(rng, rows, cols)
+		wh := WeightedHamming(a, b, UniformWeights(cols))
+		return int(wh) == HammingDistance(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOfTwoWeights(t *testing.T) {
+	w := PowerOfTwoWeights(5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+
+	// A single mismatch in the top column of an 8-bit word must outweigh
+	// mismatches in all lower columns combined.
+	a := NewMatrix(2, 8)
+	b := NewMatrix(2, 8)
+	b.Set(0, 7, true) // one high-bit error in row 0
+	for c := 0; c < 7; c++ {
+		b.Set(1, c, true) // seven low-bit errors in row 1
+	}
+	w8 := PowerOfTwoWeights(8)
+	high := WeightedHamming(a, MatrixFromRows(8, []uint64{b.Row[0], 0}), w8)
+	low := WeightedHamming(a, MatrixFromRows(8, []uint64{0, b.Row[1]}), w8)
+	if high <= low {
+		t.Errorf("high-bit error weight %v should exceed sum of low-bit errors %v", high, low)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, true)
+	m.Set(1, 2, true)
+	want := "100\n001"
+	if m.String() != want {
+		t.Errorf("String = %q, want %q", m.String(), want)
+	}
+}

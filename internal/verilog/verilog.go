@@ -1,0 +1,242 @@
+// Package verilog writes gate-level netlists and technology-mapped netlists
+// as synthesizable structural Verilog, so results of the flow can be taken
+// into any downstream tool.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/techmap"
+)
+
+// Write emits the circuit as a single Verilog module built from continuous
+// assignments.
+func Write(w io.Writer, c *logic.Circuit) error {
+	bw := bufio.NewWriter(w)
+	names := netNames(c)
+	outNames := outputNames(c)
+
+	ports := make([]string, 0, len(c.Inputs)+len(c.Outputs))
+	for _, in := range c.Inputs {
+		ports = append(ports, names[in])
+	}
+	ports = append(ports, outNames...)
+	fmt.Fprintf(bw, "module %s(%s);\n", sanitize(c.Name, "top"), strings.Join(ports, ", "))
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", names[in])
+	}
+	for _, n := range outNames {
+		fmt.Fprintf(bw, "  output %s;\n", n)
+	}
+
+	live := c.TransitiveFanin(c.Outputs...)
+	for i := range c.Nodes {
+		if !live[i] {
+			continue
+		}
+		switch c.Nodes[i].Op {
+		case logic.Const0, logic.Const1, logic.Input:
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", names[i])
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !live[i] {
+			continue
+		}
+		switch n.Op {
+		case logic.Const0, logic.Const1, logic.Input:
+			continue
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", names[i], expr(n, names))
+	}
+	for i, o := range c.Outputs {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", outNames[i], operand(o, names))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// WriteFile writes the circuit to a Verilog file.
+func WriteFile(path string, c *logic.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, c)
+}
+
+func expr(n *logic.Node, names []string) string {
+	a := operand(n.Fanin[0], names)
+	var b, s string
+	if n.Nfanin > 1 {
+		b = operand(n.Fanin[1], names)
+	}
+	if n.Nfanin > 2 {
+		s = operand(n.Fanin[2], names)
+	}
+	switch n.Op {
+	case logic.Buf:
+		return a
+	case logic.Not:
+		return "~" + a
+	case logic.And:
+		return a + " & " + b
+	case logic.Or:
+		return a + " | " + b
+	case logic.Xor:
+		return a + " ^ " + b
+	case logic.Nand:
+		return "~(" + a + " & " + b + ")"
+	case logic.Nor:
+		return "~(" + a + " | " + b + ")"
+	case logic.Xnor:
+		return "~(" + a + " ^ " + b + ")"
+	case logic.Mux:
+		return a + " ? " + s + " : " + b
+	}
+	panic(fmt.Sprintf("verilog: cannot serialize op %s", n.Op))
+}
+
+func operand(id logic.NodeID, names []string) string {
+	switch id {
+	case 0:
+		return "1'b0"
+	case 1:
+		return "1'b1"
+	}
+	return names[id]
+}
+
+func netNames(c *logic.Circuit) []string {
+	names := make([]string, len(c.Nodes))
+	used := make(map[string]bool)
+	for i, in := range c.Inputs {
+		n := sanitize(c.InputNames[i], fmt.Sprintf("pi%d", i))
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		names[in] = n
+	}
+	for i := range c.Nodes {
+		if names[i] != "" {
+			continue
+		}
+		n := fmt.Sprintf("n%d", i)
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		names[i] = n
+	}
+	return names
+}
+
+func outputNames(c *logic.Circuit) []string {
+	used := make(map[string]bool)
+	out := make([]string, len(c.Outputs))
+	for i := range c.Outputs {
+		n := sanitize(c.OutputNames[i], fmt.Sprintf("po%d", i))
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		out[i] = n
+	}
+	return out
+}
+
+func sanitize(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "s_" + out
+	}
+	return out
+}
+
+// WriteMapped emits a technology-mapped netlist as a Verilog module with one
+// cell instance per line (cells as module instantiations against the
+// library's cell names).
+func WriteMapped(w io.Writer, m *techmap.Mapped) error {
+	bw := bufio.NewWriter(w)
+	nets := make([]string, m.NumInputs+len(m.Instances))
+	used := make(map[string]bool)
+	for i := 0; i < m.NumInputs; i++ {
+		name := ""
+		if i < len(m.InputNames) {
+			name = m.InputNames[i]
+		}
+		n := sanitize(name, fmt.Sprintf("pi%d", i))
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		nets[i] = n
+	}
+	for j := range m.Instances {
+		n := fmt.Sprintf("w%d", j)
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		nets[m.NumInputs+j] = n
+	}
+	outs := make([]string, len(m.Outputs))
+	for i := range m.Outputs {
+		name := ""
+		if i < len(m.OutputNames) {
+			name = m.OutputNames[i]
+		}
+		n := sanitize(name, fmt.Sprintf("po%d", i))
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		outs[i] = n
+	}
+
+	ports := append(append([]string{}, nets[:m.NumInputs]...), outs...)
+	fmt.Fprintf(bw, "module %s(%s);\n", sanitize(m.Name, "top"), strings.Join(ports, ", "))
+	for i := 0; i < m.NumInputs; i++ {
+		fmt.Fprintf(bw, "  input %s;\n", nets[i])
+	}
+	for _, o := range outs {
+		fmt.Fprintf(bw, "  output %s;\n", o)
+	}
+	for j := range m.Instances {
+		fmt.Fprintf(bw, "  wire %s;\n", nets[m.NumInputs+j])
+	}
+	for j, inst := range m.Instances {
+		cell := m.Lib.Cells[inst.Cell]
+		fmt.Fprintf(bw, "  %s u%d(", cell.Name, j)
+		for p, f := range inst.Fanins {
+			fmt.Fprintf(bw, ".I%d(%s), ", p, nets[f])
+		}
+		fmt.Fprintf(bw, ".Z(%s));\n", nets[m.NumInputs+j])
+	}
+	for i, o := range m.Outputs {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", outs[i], nets[o])
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
