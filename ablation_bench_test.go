@@ -39,8 +39,8 @@ func BenchmarkAblationPartitionRefine(b *testing.B) {
 		}
 		refined, plain = cost(r), cost(p)
 	}
-	b.ReportMetric(float64(refined), "refined-boundary-nets")
-	b.ReportMetric(float64(plain), "plain-boundary-nets")
+	reportMetric(b, float64(refined), "refined-boundary-nets")
+	reportMetric(b, float64(plain), "plain-boundary-nets")
 }
 
 // BenchmarkAblationBMFRefinement measures the error reduction of the exact
@@ -73,8 +73,8 @@ func BenchmarkAblationBMFRefinement(b *testing.B) {
 			without += ro.Hamming
 		}
 	}
-	b.ReportMetric(float64(with), "hamming-with-refine")
-	b.ReportMetric(float64(without), "hamming-without-refine")
+	reportMetric(b, float64(with), "hamming-with-refine")
+	reportMetric(b, float64(without), "hamming-without-refine")
 }
 
 // BenchmarkAblationBasis compares the column (structural) basis against the
@@ -105,7 +105,7 @@ func BenchmarkAblationBasis(b *testing.B) {
 				}
 				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
 			}
-			b.ReportMetric(savings, "area-savings-%")
+			reportMetric(b, savings, "area-savings-%")
 		})
 	}
 }
@@ -140,7 +140,7 @@ func BenchmarkAblationLazyExploration(b *testing.B) {
 				}
 				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
 			}
-			b.ReportMetric(savings, "area-savings-%")
+			reportMetric(b, savings, "area-savings-%")
 		})
 	}
 }
@@ -172,7 +172,7 @@ func BenchmarkAblationSemiring(b *testing.B) {
 				}
 				savings = 100 * (accurate.Area() - met.Area) / accurate.Area()
 			}
-			b.ReportMetric(savings, "area-savings-%")
+			reportMetric(b, savings, "area-savings-%")
 		})
 	}
 }

@@ -7,13 +7,17 @@
 package blasys_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/blasys-go/blasys"
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/engine"
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/partition"
 	"github.com/blasys-go/blasys/internal/qor"
@@ -108,8 +112,8 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		if i == 0 {
 			b.Logf("Fig4 | Mult8 norm area at 5%% rel err: UQoR %.3f, WQoR %.3f", area[0], area[1])
-			b.ReportMetric(area[0], "uqor-area")
-			b.ReportMetric(area[1], "wqor-area")
+			reportMetric(b, area[0], "uqor-area")
+			reportMetric(b, area[1], "wqor-area")
 		}
 	}
 }
@@ -133,7 +137,7 @@ func BenchmarkFigure5(b *testing.B) {
 					b.Logf("Fig5 | %-8s | %d steps | area %.3f | avg-rel %.4f | norm-avg-abs %.3g",
 						bm.Name, len(res.Steps), last.ModelArea/res.AccurateModelArea,
 						last.Report.AvgRel, last.Report.NormAvgAbs)
-					b.ReportMetric(last.ModelArea/res.AccurateModelArea, "norm-area")
+					reportMetric(b, last.ModelArea/res.AccurateModelArea, "norm-area")
 				}
 			}
 		})
@@ -168,7 +172,7 @@ func BenchmarkTable2(b *testing.B) {
 					sav := 100 * (accurate.Area() - met.Area) / accurate.Area()
 					b.Logf("Table2 | %-8s | area savings %5.1f%% (paper %5.1f%%) at %.3f rel err",
 						bm.Name, sav, paper[bm.Name], rep.AvgRel)
-					b.ReportMetric(sav, "area-savings-%")
+					reportMetric(b, sav, "area-savings-%")
 				}
 			}
 		})
@@ -216,8 +220,8 @@ func BenchmarkTable3(b *testing.B) {
 					sa := 100 * (accurate.Area() - smapped.Area()) / accurate.Area()
 					b.Logf("Table3 | %-8s | BLASYS %5.1f%% vs baseline %5.1f%% area savings at 5%%",
 						bm.Name, bl, sa)
-					b.ReportMetric(bl, "blasys-savings-%")
-					b.ReportMetric(sa, "salsa-savings-%")
+					reportMetric(b, bl, "blasys-savings-%")
+					reportMetric(b, sa, "salsa-savings-%")
 				}
 			}
 		})
@@ -301,6 +305,56 @@ func BenchmarkPublicAPI(b *testing.B) {
 		}
 		if _, err := res.BestCircuit(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSpeedup records the concurrent-service headline numbers for
+// the perf trajectory (scripts/bench.sh -> BENCH_<date>.json): the
+// sequential-vs-parallel exploration speedup on Mult8 and the factorization
+// cache hits of a warm engine resubmission.
+func BenchmarkEngineSpeedup(b *testing.B) {
+	bm := bench.Mult8()
+	cfg := core.Config{Samples: 1 << 12, Seed: benchSeed, ExploreFully: true, MaxSteps: 8}
+	run := func(parallelism int) time.Duration {
+		c := cfg
+		c.Parallelism = parallelism
+		start := time.Now()
+		if _, err := core.Approximate(bm.Circ, bm.Spec, c); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		seq := run(1)
+		par := run(runtime.GOMAXPROCS(0))
+		if i == 0 {
+			speedup := float64(seq) / float64(par)
+			b.Logf("Engine | Mult8 exploration: sequential %v, parallel(%d) %v, %.2fx",
+				seq, runtime.GOMAXPROCS(0), par, speedup)
+			reportMetric(b, speedup, "parallel-speedup-x")
+		}
+	}
+
+	// Warm-cache resubmission through the engine.
+	e := engine.New(engine.Options{Workers: 1})
+	defer e.Close()
+	req := engine.Request{Circuit: bm.Circ, Spec: bm.Spec, Config: cfg}
+	for i := 0; i < 2; i++ {
+		j, err := e.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if j.State() != engine.StateDone {
+			b.Fatalf("engine job %s: %v", j.State(), j.Err())
+		}
+		if i == 1 {
+			st := j.Snapshot(false)
+			b.Logf("Engine | warm resubmission: %d cache hits, %d misses", st.CacheHits, st.CacheMisses)
+			reportMetric(b, float64(st.CacheHits), "warm-cache-hits")
 		}
 	}
 }

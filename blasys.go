@@ -22,18 +22,38 @@
 // BLIF (ReadBLIF); results can be written back as BLIF or structural
 // Verilog.
 //
+// # Running as a service
+//
+// The same flow is available as a concurrent HTTP service with a worker
+// pool, bounded job queue, shared factorization cache, per-job progress
+// traces, and cooperative cancellation:
+//
+//	go run ./cmd/blasys-serve -addr :8080 -workers 4
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"benchmark": "Mult8", "config": {"threshold": 0.05}}'
+//
+// See cmd/blasys-serve for the full curl walkthrough (submitting BLIF,
+// polling status, downloading result.blif / result.v) and NewEngine for the
+// embeddable job engine behind it. Long-running library calls can be
+// cancelled through ApproximateContext, stream per-step progress through
+// Config.Progress, and share factorizations across runs through
+// Config.Cache (NewFactorizationCache).
+//
 // This package is a facade: it re-exports the library's main types and entry
 // points so downstream users need a single import. The implementation lives
 // in the internal packages, one per subsystem (see DESIGN.md for the map).
 package blasys
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/engine"
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/salsa"
@@ -117,6 +137,44 @@ const (
 func Approximate(c *Circuit, spec OutputSpec, cfg Config) (*Result, error) {
 	return core.Approximate(c, spec, cfg)
 }
+
+// ApproximateContext is Approximate with cooperative cancellation: the flow
+// returns ctx.Err() within one block factorization or one Monte-Carlo
+// comparison of ctx being cancelled.
+func ApproximateContext(ctx context.Context, c *Circuit, spec OutputSpec, cfg Config) (*Result, error) {
+	return core.ApproximateCtx(ctx, c, spec, cfg)
+}
+
+// FactorizationCache memoizes Boolean matrix factorizations by truth-table
+// content. Assign one to Config.Cache (or share one through EngineOptions)
+// so repeated or structurally overlapping runs skip re-factorization.
+type FactorizationCache = bmf.MemoryCache
+
+// NewFactorizationCache returns an empty in-memory factorization cache.
+func NewFactorizationCache() *FactorizationCache { return bmf.NewMemoryCache() }
+
+// Concurrent approximation service (see internal/engine and
+// cmd/blasys-serve).
+type (
+	// Engine runs approximation jobs on a worker pool with a shared
+	// factorization cache and a bounded queue.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// Job tracks one submitted approximation run.
+	Job = engine.Job
+	// JobRequest is one unit of work for the engine.
+	JobRequest = engine.Request
+	// JobState is a job's lifecycle stage.
+	JobState = engine.State
+)
+
+// NewEngine starts a concurrent approximation engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewJobServer wraps an engine with the blasys-serve HTTP API
+// (POST /v1/jobs, GET /v1/jobs/{id}, result downloads, /healthz, /metrics).
+func NewJobServer(e *Engine) http.Handler { return engine.NewServer(e) }
 
 // ApproximateSALSA runs the per-output SALSA-style baseline.
 func ApproximateSALSA(c *Circuit, spec OutputSpec, cfg SALSAConfig) (*SALSAResult, error) {

@@ -1,0 +1,114 @@
+// Command blasys-serve runs the BLASYS approximation engine as an HTTP
+// service: jobs are submitted as BLIF netlists (or paper benchmark names)
+// with a JSON configuration, run on a bounded worker pool that shares a
+// content-addressed factorization cache, and polled for status, exploration
+// trace, and the resulting approximate netlist.
+//
+// Start the service:
+//
+//	blasys-serve -addr :8080 -workers 4
+//
+// Submit the quickstart circuit (the paper's 8-bit multiplier) by name and
+// capture the job id:
+//
+//	JOB=$(curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"benchmark": "Mult8", "config": {"threshold": 0.05, "samples": 16384}}' \
+//	    | jq -r .id)
+//
+// Or export any circuit to BLIF first (here via the CLI) and submit it
+// inline — jq -Rs packs the netlist into the JSON string:
+//
+//	blasys -bench Mult8 -max-steps 0 -out mult8.blif   # or any BLIF producer
+//	jq -Rs '{blif: ., config: {threshold: 0.05}}' mult8.blif \
+//	    | curl -s -X POST localhost:8080/v1/jobs -d @- | jq .
+//
+// Poll status and download the approximate netlist once done:
+//
+//	curl -s localhost:8080/v1/jobs/$JOB | jq .state
+//	curl -s localhost:8080/v1/jobs/$JOB/result.blif -o approx.blif
+//	curl -s localhost:8080/v1/jobs/$JOB/result.v    -o approx.v
+//
+// Cancel, health, and service metrics:
+//
+//	curl -s -X POST localhost:8080/v1/jobs/$JOB/cancel
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/engine"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "jobs run concurrently")
+		queueSize   = flag.Int("queue", 64, "bounded job queue size (submissions beyond it are rejected)")
+		parallelism = flag.Int("job-parallelism", 0, "worker goroutines per job (0 = GOMAXPROCS/workers)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueSize, *parallelism); err != nil {
+		fmt.Fprintln(os.Stderr, "blasys-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueSize, parallelism int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if parallelism <= 0 {
+		// Divide the machine across concurrent jobs instead of
+		// oversubscribing it workers-fold.
+		if parallelism = runtime.GOMAXPROCS(0) / workers; parallelism < 1 {
+			parallelism = 1
+		}
+	}
+	eng := engine.New(engine.Options{
+		Workers:        workers,
+		QueueSize:      queueSize,
+		JobParallelism: parallelism,
+	})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           engine.NewServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("blasys-serve listening on %s (%d workers, queue %d, %d goroutines/job)",
+			addr, workers, queueSize, parallelism)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("blasys-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/blasys-go/blasys
+
+go 1.22

@@ -1,0 +1,183 @@
+package bmf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+// Key is the content address of one factorization problem: a deterministic
+// hash of the truth matrix, the degree, the factor family, and every Options
+// field that influences the result. Two problems with equal keys have
+// bit-identical factorizations, so a cached result can be substituted for a
+// fresh computation.
+type Key [sha256.Size]byte
+
+// family tags keep the two factor families (general ASSO vs column-basis)
+// from ever colliding in one cache.
+const (
+	familyASSO    byte = 'A'
+	familyColumns byte = 'C'
+)
+
+// keyFor hashes a factorization problem. Defaults are normalized before
+// hashing (nil weights, nil sweep, zero w+/w-) so an explicit default and an
+// implied one share a key.
+func keyFor(family byte, M *tt.Matrix, f int, opt Options) Key {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) { writeInt(math.Float64bits(v)) }
+
+	h.Write([]byte{family, byte(opt.Semiring)})
+	if opt.SkipRefine {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	writeInt(uint64(f))
+	writeInt(uint64(M.Rows))
+	writeInt(uint64(M.Cols))
+	for _, r := range M.Row {
+		writeInt(r)
+	}
+	wplus, wminus := opt.WPlus, opt.WMinus
+	if wplus == 0 {
+		wplus = 1
+	}
+	if wminus == 0 {
+		wminus = 1
+	}
+	writeFloat(wplus)
+	writeFloat(wminus)
+	if opt.ColWeights == nil {
+		writeInt(0) // uniform marker
+	} else {
+		writeInt(uint64(len(opt.ColWeights)) + 1)
+		for _, w := range opt.ColWeights {
+			writeFloat(w)
+		}
+	}
+	sweep := opt.TauSweep
+	if sweep == nil {
+		sweep = DefaultTauSweep
+	}
+	writeInt(uint64(len(sweep)))
+	for _, tau := range sweep {
+		writeFloat(tau)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// CacheStats reports a cache's cumulative effectiveness counters.
+type CacheStats struct {
+	Hits, Misses, Entries uint64
+}
+
+// Cache memoizes factorization results by content address. Implementations
+// must be safe for concurrent use; stored values are treated as immutable by
+// every consumer, so one entry may be shared across goroutines and jobs.
+type Cache interface {
+	Get(Key) (any, bool)
+	Put(Key, any)
+	Stats() CacheStats
+}
+
+// MemoryCache is an in-process Cache: a mutex-guarded map with hit/miss
+// counters. It grows without bound; the working set of a BLASYS service (one
+// entry per distinct block truth table per degree) is small relative to the
+// simulation state, so eviction has not been needed yet.
+type MemoryCache struct {
+	mu           sync.RWMutex
+	m            map[Key]any
+	hits, misses atomic.Uint64
+}
+
+// NewMemoryCache returns an empty MemoryCache.
+func NewMemoryCache() *MemoryCache {
+	return &MemoryCache{m: make(map[Key]any)}
+}
+
+// Get returns the entry stored under k, counting the hit or miss.
+func (c *MemoryCache) Get(k Key) (any, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores v under k.
+func (c *MemoryCache) Put(k Key, v any) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative hit/miss counters and the entry count.
+func (c *MemoryCache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: uint64(n)}
+}
+
+// FactorizeCached is Factorize with an optional memoization layer: a nil
+// cache degrades to a direct call. The returned Result is shared with the
+// cache and must not be mutated.
+func FactorizeCached(c Cache, M *tt.Matrix, f int, opt Options) (*Result, error) {
+	if c == nil {
+		return Factorize(M, f, opt)
+	}
+	if M == nil || M.Rows == 0 || M.Cols == 0 {
+		return Factorize(M, f, opt) // surface the argument error uncached
+	}
+	key := keyFor(familyASSO, M, f, opt)
+	if v, ok := c.Get(key); ok {
+		if res, ok := v.(*Result); ok {
+			return res, nil
+		}
+	}
+	res, err := Factorize(M, f, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(key, res)
+	return res, nil
+}
+
+// FactorizeColumnsCached is FactorizeColumns with the same optional
+// memoization layer as FactorizeCached.
+func FactorizeColumnsCached(c Cache, M *tt.Matrix, f int, opt Options) (*ColumnResult, error) {
+	if c == nil {
+		return FactorizeColumns(M, f, opt)
+	}
+	if M == nil || M.Rows == 0 || M.Cols == 0 {
+		return FactorizeColumns(M, f, opt)
+	}
+	key := keyFor(familyColumns, M, f, opt)
+	if v, ok := c.Get(key); ok {
+		if res, ok := v.(*ColumnResult); ok {
+			return res, nil
+		}
+	}
+	res, err := FactorizeColumns(M, f, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(key, res)
+	return res, nil
+}

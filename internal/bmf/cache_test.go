@@ -1,0 +1,120 @@
+package bmf
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/tt"
+)
+
+func testMatrix() *tt.Matrix {
+	// The paper's Fig. 3 truth table (4 inputs, 4 outputs).
+	return tt.MatrixFromRows(4, []uint64{
+		0b0000, 0b0001, 0b0010, 0b0011,
+		0b0100, 0b0101, 0b0110, 0b0111,
+		0b1000, 0b1001, 0b1010, 0b1011,
+		0b1100, 0b1101, 0b1110, 0b1111,
+	})
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	M := testMatrix()
+	base := keyFor(familyColumns, M, 2, Options{})
+	if again := keyFor(familyColumns, M, 2, Options{}); again != base {
+		t.Fatal("identical problems hash to different keys")
+	}
+	// Normalized defaults share a key with explicit ones.
+	if k := keyFor(familyColumns, M, 2, Options{WPlus: 1, WMinus: 1, TauSweep: DefaultTauSweep}); k != base {
+		t.Fatal("normalized defaults should hash like implied defaults")
+	}
+	distinct := []Key{
+		keyFor(familyASSO, M, 2, Options{}),
+		keyFor(familyColumns, M, 3, Options{}),
+		keyFor(familyColumns, M, 2, Options{Semiring: Xor}),
+		keyFor(familyColumns, M, 2, Options{ColWeights: tt.PowerOfTwoWeights(4)}),
+		keyFor(familyColumns, M, 2, Options{TauSweep: []float64{0.5}}),
+		keyFor(familyColumns, M, 2, Options{SkipRefine: true}),
+	}
+	seen := map[Key]bool{base: true}
+	for i, k := range distinct {
+		if seen[k] {
+			t.Fatalf("variant %d collided with a previous key", i)
+		}
+		seen[k] = true
+	}
+	// A single flipped matrix bit must change the key.
+	M2 := testMatrix()
+	M2.Set(3, 1, !M2.Get(3, 1))
+	if keyFor(familyColumns, M2, 2, Options{}) == base {
+		t.Fatal("matrix content not reflected in key")
+	}
+}
+
+func TestFactorizeCachedHitsAndEquivalence(t *testing.T) {
+	M := testMatrix()
+	cache := NewMemoryCache()
+	direct, err := Factorize(M, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := FactorizeCached(cache, M, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := FactorizeCached(cache, M, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("second call should return the cached pointer")
+	}
+	if !first.B.Equal(direct.B) || !first.C.Equal(direct.C) || first.Hamming != direct.Hamming {
+		t.Fatal("cached path and direct path disagree")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+
+	// The column family must not alias the ASSO family.
+	colRes, err := FactorizeColumnsCached(cache, M, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colAgain, err := FactorizeColumnsCached(cache, M, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colAgain != colRes {
+		t.Fatal("column result not cached")
+	}
+	if got := cache.Stats().Entries; got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+}
+
+func TestMemoryCacheConcurrent(t *testing.T) {
+	M := testMatrix()
+	cache := NewMemoryCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := 1; f <= 3; f++ {
+				if _, err := FactorizeColumnsCached(cache, M, f, Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Hits+st.Misses != 8*3 {
+		t.Fatalf("hits+misses = %d, want 24", st.Hits+st.Misses)
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -81,6 +82,15 @@ type Config struct {
 	// the common case, at a fraction of the simulations. Default off
 	// (paper-literal exhaustive re-evaluation).
 	Lazy bool
+	// Progress, when non-nil, receives one TracePoint per committed
+	// exploration step, in commit order, called synchronously from the
+	// exploring goroutine. Keep it fast (e.g. append to a buffer or send on
+	// a buffered channel): a blocking hook stalls the exploration.
+	Progress func(TracePoint)
+	// Cache, when non-nil, memoizes block factorizations by truth-table
+	// content (see bmf.Cache). Sharing one cache across Approximate calls
+	// lets repeated or overlapping runs skip re-factorization entirely.
+	Cache bmf.Cache
 }
 
 // Basis selects the BMF family used for block variants.
@@ -181,7 +191,19 @@ type Result struct {
 
 // Approximate runs the complete BLASYS flow.
 func Approximate(c *logic.Circuit, spec qor.OutputSpec, cfg Config) (*Result, error) {
+	return ApproximateCtx(context.Background(), c, spec, cfg)
+}
+
+// ApproximateCtx is Approximate with cancellation: the flow checks ctx
+// between blocks during profiling and between candidate evaluations during
+// exploration, returning ctx.Err() as soon as it is observed. Cancellation
+// latency is therefore bounded by one block factorization or one Monte-Carlo
+// comparison, not by the whole run.
+func ApproximateCtx(ctx context.Context, c *logic.Circuit, spec qor.OutputSpec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("core: input circuit invalid: %w", err)
 	}
@@ -195,7 +217,7 @@ func Approximate(c *logic.Circuit, spec qor.OutputSpec, cfg Config) (*Result, er
 	res := &Result{Config: cfg, Circuit: prepared, Spec: spec, BestStep: -1}
 
 	weights := blockOutputWeights(prepared, blocks, spec, cfg.Weighted)
-	res.Profiles, err = profileBlocks(prepared, blocks, weights, cfg)
+	res.Profiles, err = profileBlocks(ctx, prepared, blocks, weights, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +229,7 @@ func Approximate(c *logic.Circuit, spec qor.OutputSpec, cfg Config) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	if err := explore(res, eval, cfg); err != nil {
+	if err := explore(ctx, res, eval, cfg); err != nil {
 		return nil, err
 	}
 	res.selectBest()
@@ -286,21 +308,27 @@ func trailingZeros(x uint64) int {
 }
 
 // profileBlocks runs Alg. 1's profiling phase in parallel across blocks.
-func profileBlocks(c *logic.Circuit, blocks []partition.Block, weights [][]float64, cfg Config) ([]*BlockProfile, error) {
+func profileBlocks(ctx context.Context, c *logic.Circuit, blocks []partition.Block, weights [][]float64, cfg Config) ([]*BlockProfile, error) {
 	profiles := make([]*BlockProfile, len(blocks))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Parallelism)
 	errs := make([]error, len(blocks))
 	for bi := range blocks {
+		if err := ctx.Err(); err != nil {
+			break // drain what was launched, then report cancellation
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(bi int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			profiles[bi], errs[bi] = profileBlock(c, blocks[bi], weights[bi], cfg)
+			profiles[bi], errs[bi] = profileBlock(ctx, c, blocks[bi], weights[bi], cfg)
 		}(bi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -309,7 +337,7 @@ func profileBlocks(c *logic.Circuit, blocks []partition.Block, weights [][]float
 	return profiles, nil
 }
 
-func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg Config) (*BlockProfile, error) {
+func profileBlock(ctx context.Context, c *logic.Circuit, b partition.Block, colWeights []float64, cfg Config) (*BlockProfile, error) {
 	impl, err := partition.Extract(c, b)
 	if err != nil {
 		return nil, err
@@ -341,6 +369,9 @@ func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg
 	}
 	synthOpts := synth.Options{Exact: cfg.SynthExact}
 	for f := 1; f <= maxF; f++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := fmt.Sprintf("%s_b%d_f%d", c.Name, len(b.Gates), f)
 		var (
 			blkImpl *logic.Circuit
@@ -349,7 +380,7 @@ func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg
 		)
 		switch cfg.Basis {
 		case BasisASSO:
-			fr, err := bmf.Factorize(M, f, opts)
+			fr, err := bmf.FactorizeCached(cfg.Cache, M, f, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +390,7 @@ func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg
 			}
 			hamming, werr = fr.Hamming, fr.WeightedError
 		default: // BasisColumns
-			fr, err := bmf.FactorizeColumns(M, f, opts)
+			fr, err := bmf.FactorizeColumnsCached(cfg.Cache, M, f, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -385,17 +416,26 @@ func profileBlock(c *logic.Circuit, b partition.Block, colWeights []float64, cfg
 }
 
 // explore is Alg. 1's circuit-space exploration (lines 12–22).
-func explore(res *Result, eval qor.Comparer, cfg Config) error {
+func explore(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
 	if cfg.Lazy {
-		return exploreLazy(res, eval, cfg)
+		return exploreLazy(ctx, res, eval, cfg)
 	}
-	return exploreExhaustive(res, eval, cfg)
+	return exploreExhaustive(ctx, res, eval, cfg)
+}
+
+// commitStep appends a committed exploration step and streams it to the
+// Progress hook.
+func (r *Result) commitStep(s Step, cfg Config) {
+	r.Steps = append(r.Steps, s)
+	if cfg.Progress != nil {
+		cfg.Progress(r.tracePointAt(len(r.Steps) - 1))
+	}
 }
 
 // exploreLazy is the lazy-greedy variant: each candidate (block at its next
 // degree) keeps the error measured the last time it was evaluated; only the
 // smallest stale estimate is re-measured before committing.
-func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
+func exploreLazy(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
 	nBlocks := len(res.Profiles)
 	degrees := make([]int, nBlocks)
 	for bi, p := range res.Profiles {
@@ -419,6 +459,9 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 		errs := make([]error, len(batch))
 		sem := make(chan struct{}, cfg.Parallelism)
 		for i, cd := range batch {
+			if ctx.Err() != nil {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int, cd *cand) {
@@ -437,6 +480,9 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 			}(i, cd)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, err := range errs {
 			if err != nil {
 				return err
@@ -446,6 +492,9 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 	}
 
 	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Drop exhausted candidates.
 		live := cands[:0]
 		for _, cd := range cands {
@@ -460,11 +509,12 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 		var chosen *cand
 		for {
 			sort.Slice(cands, func(i, j int) bool {
-				if (cands[i].version == version) != (cands[j].version == version) {
-					// Prefer fresh entries on ties so the loop terminates.
+				if cands[i].err != cands[j].err {
 					return cands[i].err < cands[j].err
 				}
-				return cands[i].err < cands[j].err
+				// Prefer fresh entries on ties so a stale optimistic
+				// estimate cannot shadow an equal measured error.
+				return cands[i].version == version && cands[j].version != version
 			})
 			if cands[0].version == version {
 				chosen = cands[0]
@@ -486,12 +536,12 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 		}
 		degrees[chosen.bi]--
 		version++
-		res.Steps = append(res.Steps, Step{
+		res.commitStep(Step{
 			BlockIndex: chosen.bi,
 			NewDegree:  degrees[chosen.bi],
 			Report:     chosen.report,
 			ModelArea:  res.modelArea(degrees),
-		})
+		}, cfg)
 		// The committed block's next decrement inherits the fresh report as
 		// an optimistic estimate; everything else keeps its old estimate.
 		chosen.version = -1
@@ -504,7 +554,7 @@ func exploreLazy(res *Result, eval qor.Comparer, cfg Config) error {
 
 // exploreExhaustive re-evaluates every candidate each iteration, exactly as
 // Algorithm 1 is written.
-func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
+func exploreExhaustive(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
 	nBlocks := len(res.Profiles)
 	degrees := make([]int, nBlocks) // current degree; MaxDegree = accurate
 	for bi, p := range res.Profiles {
@@ -513,6 +563,9 @@ func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
 
 	currentErr := 0.0
 	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Candidates: blocks whose degree can still be decremented.
 		type cand struct {
 			bi     int
@@ -533,6 +586,9 @@ func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, cfg.Parallelism)
 		for _, cd := range cands {
+			if ctx.Err() != nil {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(cd *cand) {
@@ -549,6 +605,9 @@ func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
 			}(cd)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		best := -1
 		bestErr := math.Inf(1)
 		for i, cd := range cands {
@@ -562,12 +621,12 @@ func exploreExhaustive(res *Result, eval qor.Comparer, cfg Config) error {
 		}
 		chosen := cands[best]
 		degrees[chosen.bi]--
-		res.Steps = append(res.Steps, Step{
+		res.commitStep(Step{
 			BlockIndex: chosen.bi,
 			NewDegree:  degrees[chosen.bi],
 			Report:     chosen.report,
 			ModelArea:  res.modelArea(degrees),
-		})
+		}, cfg)
 		currentErr = chosen.report.Value(cfg.Metric)
 		if !cfg.ExploreFully && currentErr >= cfg.Threshold {
 			break
@@ -662,22 +721,28 @@ type TracePoint struct {
 	NewDegree     int
 }
 
+// tracePointAt renders committed step i as a trade-off point.
+func (r *Result) tracePointAt(i int) TracePoint {
+	s := r.Steps[i]
+	return TracePoint{
+		Step:          i,
+		NormModelArea: s.ModelArea / r.AccurateModelArea,
+		AvgRel:        s.Report.AvgRel,
+		AvgAbs:        s.Report.AvgAbs,
+		NormAvgAbs:    s.Report.NormAvgAbs,
+		MeanHamming:   s.Report.MeanHam,
+		BlockIndex:    s.BlockIndex,
+		NewDegree:     s.NewDegree,
+	}
+}
+
 // Trace renders the exploration as normalized trade-off points (the paper's
 // Fig. 4/5 series), including the accurate starting point.
 func (r *Result) Trace() []TracePoint {
 	pts := make([]TracePoint, 0, len(r.Steps)+1)
 	pts = append(pts, TracePoint{Step: -1, NormModelArea: 1, BlockIndex: -1})
-	for i, s := range r.Steps {
-		pts = append(pts, TracePoint{
-			Step:          i,
-			NormModelArea: s.ModelArea / r.AccurateModelArea,
-			AvgRel:        s.Report.AvgRel,
-			AvgAbs:        s.Report.AvgAbs,
-			NormAvgAbs:    s.Report.NormAvgAbs,
-			MeanHamming:   s.Report.MeanHam,
-			BlockIndex:    s.BlockIndex,
-			NewDegree:     s.NewDegree,
-		})
+	for i := range r.Steps {
+		pts = append(pts, r.tracePointAt(i))
 	}
 	return pts
 }

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// metricNames maps wire names to metrics, mirroring cmd/blasys's flags.
+var metricNames = map[string]qor.Metric{
+	"":        qor.AvgRelative,
+	"rel":     qor.AvgRelative,
+	"abs":     qor.AvgAbsolute,
+	"normabs": qor.NormAvgAbsolute,
+	"hamming": qor.MeanHamming,
+	"rate":    qor.ErrorRate,
+	"worst":   qor.WorstRelative,
+	"mse":     qor.MSE,
+}
+
+var semiringNames = map[string]bmf.Semiring{
+	"":    bmf.Or,
+	"or":  bmf.Or,
+	"xor": bmf.Xor,
+}
+
+var basisNames = map[string]core.Basis{
+	"":        core.BasisColumns,
+	"columns": core.BasisColumns,
+	"asso":    core.BasisASSO,
+}
+
+func knownNames[T any](m map[string]T) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		if k != "" {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// GroupConfig is the wire form of one output group of a qor.OutputSpec.
+type GroupConfig struct {
+	Name string `json:"name"`
+	// Bits lists primary-output indices, least significant first.
+	Bits   []int `json:"bits"`
+	Signed bool  `json:"signed,omitempty"`
+}
+
+// SequenceConfig is the wire form of qor.Sequence (accumulator feedback).
+type SequenceConfig struct {
+	Steps int `json:"steps"`
+	// Feedback lists [output index, input index] pairs applied per cycle.
+	Feedback [][2]int `json:"feedback"`
+}
+
+// JobConfig is the JSON configuration accepted by POST /v1/jobs. Every field
+// is optional; zero values fall through to the core defaults (k = m = 10,
+// 5% average-relative-error threshold, 2^16 samples, OR semiring, column
+// basis).
+type JobConfig struct {
+	K            int     `json:"k,omitempty"`
+	M            int     `json:"m,omitempty"`
+	Metric       string  `json:"metric,omitempty"` // rel, abs, normabs, hamming, rate, worst, mse
+	Threshold    float64 `json:"threshold,omitempty"`
+	Samples      int     `json:"samples,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Weighted     bool    `json:"weighted,omitempty"`
+	Semiring     string  `json:"semiring,omitempty"` // or, xor
+	Basis        string  `json:"basis,omitempty"`    // columns, asso
+	ExploreFully bool    `json:"explore_fully,omitempty"`
+	MaxSteps     int     `json:"max_steps,omitempty"`
+	Lazy         bool    `json:"lazy,omitempty"`
+	Parallelism  int     `json:"parallelism,omitempty"`
+	SynthExact   bool    `json:"synth_exact,omitempty"`
+
+	// Outputs overrides the output interpretation; nil means one unsigned
+	// bus over all outputs (or the benchmark's own spec for benchmark jobs).
+	Outputs []GroupConfig `json:"outputs,omitempty"`
+	// Sequence requests accumulator-feedback multi-cycle evaluation,
+	// overriding a benchmark's default sequence when present.
+	Sequence *SequenceConfig `json:"sequence,omitempty"`
+}
+
+// CoreConfig translates the wire config into a core.Config. Defaults are
+// left zero for core's own withDefaults to complete.
+func (jc JobConfig) CoreConfig() (core.Config, error) {
+	metric, ok := metricNames[jc.Metric]
+	if !ok {
+		return core.Config{}, fmt.Errorf("engine: unknown metric %q (known: %s)", jc.Metric, knownNames(metricNames))
+	}
+	semiring, ok := semiringNames[jc.Semiring]
+	if !ok {
+		return core.Config{}, fmt.Errorf("engine: unknown semiring %q (known: %s)", jc.Semiring, knownNames(semiringNames))
+	}
+	basis, ok := basisNames[jc.Basis]
+	if !ok {
+		return core.Config{}, fmt.Errorf("engine: unknown basis %q (known: %s)", jc.Basis, knownNames(basisNames))
+	}
+	cfg := core.Config{
+		K: jc.K, M: jc.M,
+		Metric:       metric,
+		Threshold:    jc.Threshold,
+		Samples:      jc.Samples,
+		Seed:         jc.Seed,
+		Weighted:     jc.Weighted,
+		Semiring:     semiring,
+		Basis:        basis,
+		ExploreFully: jc.ExploreFully,
+		MaxSteps:     jc.MaxSteps,
+		Lazy:         jc.Lazy,
+		Parallelism:  jc.Parallelism,
+		SynthExact:   jc.SynthExact,
+	}
+	if jc.Sequence != nil {
+		cfg.Sequence = &qor.Sequence{Steps: jc.Sequence.Steps, Feedback: jc.Sequence.Feedback}
+	}
+	return cfg, nil
+}
+
+// Spec resolves the output interpretation for a circuit: the configured
+// groups when present, otherwise one unsigned bus spanning every output.
+func (jc JobConfig) Spec(c *logic.Circuit) (qor.OutputSpec, error) {
+	if len(jc.Outputs) == 0 {
+		return qor.Unsigned("out", c.NumOutputs()), nil
+	}
+	spec := qor.OutputSpec{}
+	for _, g := range jc.Outputs {
+		if len(g.Bits) == 0 {
+			return qor.OutputSpec{}, fmt.Errorf("engine: output group %q has no bits", g.Name)
+		}
+		for _, bit := range g.Bits {
+			if bit < 0 || bit >= c.NumOutputs() {
+				return qor.OutputSpec{}, fmt.Errorf("engine: output group %q references bit %d of a %d-output circuit",
+					g.Name, bit, c.NumOutputs())
+			}
+		}
+		spec.Groups = append(spec.Groups, qor.Group{Name: g.Name, Bits: g.Bits, Signed: g.Signed})
+	}
+	return spec, nil
+}

@@ -1,0 +1,297 @@
+// Package engine is the concurrent approximation service layer on top of the
+// BLASYS flow (internal/core): a bounded job queue drained by a worker pool,
+// a content-addressed Boolean-matrix-factorization cache shared across jobs
+// (internal/bmf), per-job progress streaming via the core Progress hook, and
+// cooperative cancellation via context plumbed through core.ApproximateCtx.
+//
+// The design-space search BLASYS performs is embarrassingly parallel in two
+// dimensions — across candidate blocks within one run (core.Config
+// Parallelism) and across independent runs (this package's worker pool) —
+// and heavily repetitive across runs: resubmitting a benchmark, or two
+// circuits sharing subcircuit structure, re-derives identical truth tables.
+// The shared cache turns those repeats into lookups.
+//
+// The HTTP front end for this engine lives in server.go; the binary is
+// cmd/blasys-serve.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+)
+
+// Errors returned by the engine's job-manager surface.
+var (
+	ErrQueueFull  = errors.New("engine: job queue full")
+	ErrClosed     = errors.New("engine: engine closed")
+	ErrNoSuchJob  = errors.New("engine: no such job")
+	ErrNotRunning = errors.New("engine: job not cancellable")
+)
+
+// Options configures an Engine. The zero value is completed by defaults:
+// 2 workers, a queue of 64, a fresh shared MemoryCache, and per-job
+// parallelism left to core's default (GOMAXPROCS).
+type Options struct {
+	// Workers is the number of jobs run concurrently.
+	Workers int
+	// QueueSize bounds the number of jobs waiting for a worker; Submit
+	// fails fast with ErrQueueFull beyond it (backpressure instead of
+	// unbounded memory growth under heavy traffic).
+	QueueSize int
+	// JobParallelism overrides core.Config.Parallelism for every job whose
+	// config leaves it unset. With several workers sharing the machine,
+	// GOMAXPROCS per job oversubscribes; a serve deployment typically sets
+	// this to GOMAXPROCS / Workers.
+	JobParallelism int
+	// Cache is the shared factorization cache (nil = new MemoryCache).
+	Cache bmf.Cache
+	// RetainJobs bounds how many terminal jobs (and their results) stay
+	// resident for status queries; the oldest terminal jobs are evicted
+	// beyond it. Queued and running jobs are never evicted. Default 1024.
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.Cache == nil {
+		o.Cache = bmf.NewMemoryCache()
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 1024
+	}
+	return o
+}
+
+// Metrics is a snapshot of the engine's service counters.
+type Metrics struct {
+	JobsCompleted uint64         `json:"jobs_completed"`
+	JobsFailed    uint64         `json:"jobs_failed"`
+	JobsCancelled uint64         `json:"jobs_cancelled"`
+	JobsRunning   int64          `json:"jobs_running"`
+	QueueDepth    int            `json:"queue_depth"`
+	Cache         bmf.CacheStats `json:"cache"`
+}
+
+// Engine runs BLASYS approximation jobs on a worker pool with a shared
+// factorization cache. All methods are safe for concurrent use.
+type Engine struct {
+	opts  Options
+	cache bmf.Cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for List
+	closed bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	completed, failed, cancelled atomic.Uint64
+	running                      atomic.Int64
+}
+
+// New starts an engine with opts.Workers worker goroutines.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:    opts,
+		cache:   opts.Cache,
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueSize),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a job, returning it immediately; the run happens on a
+// worker. Fails fast with ErrQueueFull when the bounded queue is at capacity
+// and ErrClosed after Close.
+func (e *Engine) Submit(req Request) (*Job, error) {
+	if req.Circuit == nil {
+		return nil, fmt.Errorf("engine: nil circuit")
+	}
+	job, err := newJob(req)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case e.queue <- job:
+		e.jobs[job.ID] = job
+		e.order = append(e.order, job.ID)
+		e.pruneLocked()
+		e.mu.Unlock()
+		return job, nil
+	default:
+		e.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (e *Engine) Get(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	return job, nil
+}
+
+// List snapshots every known job in submission order.
+func (e *Engine) List(withTrace bool) []Status {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot(withTrace))
+	}
+	return out
+}
+
+// Cancel stops a queued or running job and returns the job's state as of
+// this call: StateCancelled for a job caught in the queue, StateRunning for
+// a running job whose cancellation was signalled (it transitions to
+// cancelled once the flow observes the context, typically within one
+// factorization or one Monte-Carlo comparison — poll the job for the
+// terminal state), and the unchanged terminal state for finished jobs.
+func (e *Engine) Cancel(id string) (State, error) {
+	job, err := e.Get(id)
+	if err != nil {
+		return "", err
+	}
+	if job.cancelQueued() {
+		e.cancelled.Add(1)
+		return StateCancelled, nil
+	}
+	job.mu.Lock()
+	state, cancel := job.state, job.cancel
+	job.mu.Unlock()
+	if state == StateRunning && cancel != nil {
+		cancel() // the worker will record the cancelled state
+		return StateRunning, nil
+	}
+	return state, nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention bound.
+// Callers hold e.mu.
+func (e *Engine) pruneLocked() {
+	terminal := 0
+	for _, id := range e.order {
+		if e.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= e.opts.RetainJobs {
+		return
+	}
+	kept := e.order[:0]
+	for _, id := range e.order {
+		if terminal > e.opts.RetainJobs && e.jobs[id].State().Terminal() {
+			delete(e.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Metrics snapshots the service counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		JobsCompleted: e.completed.Load(),
+		JobsFailed:    e.failed.Load(),
+		JobsCancelled: e.cancelled.Load(),
+		JobsRunning:   e.running.Load(),
+		QueueDepth:    len(e.queue),
+		Cache:         e.cache.Stats(),
+	}
+}
+
+// Close stops accepting submissions, cancels running jobs, and waits for the
+// workers to drain. Queued jobs finish as cancelled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.stop()
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.run(job)
+	}
+}
+
+// run executes one job on the calling worker goroutine.
+func (e *Engine) run(job *Job) {
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	defer cancel()
+	if !job.markRunning(cancel) {
+		return // cancelled while queued
+	}
+	e.running.Add(1)
+	defer e.running.Add(-1)
+
+	cc := &countingCache{inner: e.cache}
+	cfg := job.req.Config
+	cfg.Cache = cc
+	cfg.Progress = job.appendTrace
+	if cfg.Parallelism <= 0 && e.opts.JobParallelism > 0 {
+		cfg.Parallelism = e.opts.JobParallelism
+	}
+
+	res, err := core.ApproximateCtx(ctx, job.req.Circuit, job.req.Spec, cfg)
+	hits, misses := cc.hits.Load(), cc.misses.Load()
+	switch {
+	case err == nil:
+		e.completed.Add(1)
+		job.finish(StateDone, res, nil, hits, misses)
+	case errors.Is(err, context.Canceled):
+		e.cancelled.Add(1)
+		job.finish(StateCancelled, nil, err, hits, misses)
+	default:
+		e.failed.Add(1)
+		job.finish(StateFailed, nil, err, hits, misses)
+	}
+}

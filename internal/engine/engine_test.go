@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// adderRequest builds a small ripple-carry-adder job.
+func adderRequest(tb testing.TB, bits int, cfg core.Config) Request {
+	tb.Helper()
+	b := logic.NewBuilder("adder")
+	x := b.Inputs("x", bits)
+	y := b.Inputs("y", bits)
+	carry := b.Const(false)
+	var sums []logic.NodeID
+	for i := 0; i < bits; i++ {
+		axb := b.Xor(x[i], y[i])
+		sums = append(sums, b.Xor(axb, carry))
+		carry = b.Or(b.And(x[i], y[i]), b.And(axb, carry))
+	}
+	sums = append(sums, carry)
+	b.Outputs("s", sums)
+	return Request{Circuit: b.C, Spec: qor.Unsigned("s", bits+1), Config: cfg}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s did not finish: %v", j.ID, err)
+	}
+}
+
+func TestEngineRunsJob(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	cfg := core.Config{K: 4, M: 3, Samples: 1 << 8, Seed: 1, ExploreFully: true, MaxSteps: 4}
+	j, err := e.Submit(adderRequest(t, 4, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if got := j.State(); got != StateDone {
+		t.Fatalf("state = %s (err %v), want done", got, j.Err())
+	}
+	res := j.Result()
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("done job has no result steps")
+	}
+	st := j.Snapshot(true)
+	if len(st.Trace) != len(res.Steps) {
+		t.Fatalf("trace has %d points for %d steps", len(st.Trace), len(res.Steps))
+	}
+	if st.Result == nil || st.Result.Steps != len(res.Steps) {
+		t.Fatalf("snapshot result summary missing or wrong: %+v", st.Result)
+	}
+	if m := e.Metrics(); m.JobsCompleted != 1 {
+		t.Fatalf("metrics completed = %d, want 1", m.JobsCompleted)
+	}
+}
+
+func TestEngineCacheWarmResubmission(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	cfg := core.Config{K: 4, M: 3, Samples: 1 << 8, Seed: 1, MaxSteps: 3, ExploreFully: true}
+
+	first, err := e.Submit(adderRequest(t, 4, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	if first.State() != StateDone {
+		t.Fatalf("first job: %s (%v)", first.State(), first.Err())
+	}
+
+	second, err := e.Submit(adderRequest(t, 4, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, second)
+	if second.State() != StateDone {
+		t.Fatalf("second job: %s (%v)", second.State(), second.Err())
+	}
+	st := second.Snapshot(false)
+	if st.CacheHits == 0 {
+		t.Fatalf("warm resubmission reported no cache hits: %+v", st)
+	}
+	if st.CacheMisses != 0 {
+		t.Fatalf("warm resubmission re-factorized %d tables", st.CacheMisses)
+	}
+	if m := e.Metrics(); m.Cache.Hits == 0 {
+		t.Fatalf("engine cache metrics show no hits: %+v", m.Cache)
+	}
+	// Identical submissions must produce identical exploration traces.
+	a, b := first.Result(), second.Result()
+	if len(a.Steps) != len(b.Steps) || a.BestStep != b.BestStep {
+		t.Fatalf("cache changed outcome: %d/%d steps, best %d/%d",
+			len(a.Steps), len(b.Steps), a.BestStep, b.BestStep)
+	}
+}
+
+func TestEngineCancelRunning(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	// A job big enough to still be running when cancel lands: full
+	// exploration of an 8-bit adder at a high sample count.
+	cfg := core.Config{Samples: 1 << 16, Seed: 1, ExploreFully: true}
+	j, err := e.Submit(adderRequest(t, 8, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for it to leave the queue, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if got := j.State(); got != StateCancelled && got != StateDone {
+		t.Fatalf("state after cancel = %s (%v)", got, j.Err())
+	}
+	// Small machines may legitimately finish before the cancel lands, but
+	// the common path must record a cancellation.
+	if j.State() == StateCancelled && e.Metrics().JobsCancelled != 1 {
+		t.Fatalf("metrics cancelled = %d, want 1", e.Metrics().JobsCancelled)
+	}
+}
+
+func TestEngineCancelQueued(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	slow := core.Config{Samples: 1 << 14, Seed: 1, ExploreFully: true}
+	quick := core.Config{K: 4, M: 3, Samples: 1 << 6, Seed: 1, MaxSteps: 1}
+	blocker, err := e.Submit(adderRequest(t, 8, slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := e.Submit(adderRequest(t, 4, quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, err := e.Cancel(queued.ID); err != nil || state != StateCancelled {
+		t.Fatalf("cancel queued: state %s, err %v", state, err)
+	}
+	waitDone(t, queued)
+	if queued.State() != StateCancelled {
+		t.Fatalf("queued job state = %s", queued.State())
+	}
+	if _, err := e.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, blocker)
+}
+
+func TestEngineQueueFullAndClose(t *testing.T) {
+	e := New(Options{Workers: 1, QueueSize: 1})
+	slow := core.Config{Samples: 1 << 14, Seed: 1, ExploreFully: true}
+	running, err := e.Submit(adderRequest(t, 8, slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot, then overflow it.
+	var queued *Job
+	for {
+		j, err := e.Submit(adderRequest(t, 8, slow))
+		if err == ErrQueueFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = j
+	}
+	if _, err := e.Get(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.List(false)); got < 1 {
+		t.Fatalf("list returned %d jobs", got)
+	}
+	e.Close()
+	if _, err := e.Submit(adderRequest(t, 4, slow)); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	// Everything the engine accepted must reach a terminal state.
+	waitDone(t, running)
+	if queued != nil {
+		waitDone(t, queued)
+		if got := queued.State(); got != StateCancelled && got != StateDone {
+			t.Fatalf("queued job after close: %s", got)
+		}
+	}
+	if _, err := e.Get("job-missing"); err != ErrNoSuchJob {
+		t.Fatalf("get missing: %v, want ErrNoSuchJob", err)
+	}
+}
+
+func TestJobConfigMapping(t *testing.T) {
+	jc := JobConfig{
+		K: 6, M: 5, Metric: "mse", Threshold: 0.1, Samples: 128, Seed: 7,
+		Semiring: "xor", Basis: "asso", Lazy: true,
+		Sequence: &SequenceConfig{Steps: 4, Feedback: [][2]int{{0, 1}}},
+	}
+	cfg, err := jc.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 6 || cfg.M != 5 || cfg.Metric != qor.MSE || cfg.Threshold != 0.1 ||
+		cfg.Seed != 7 || !cfg.Lazy || cfg.Basis != core.BasisASSO {
+		t.Fatalf("mapped config %+v", cfg)
+	}
+	if cfg.Sequence == nil || cfg.Sequence.Steps != 4 {
+		t.Fatalf("sequence not mapped: %+v", cfg.Sequence)
+	}
+	for _, bad := range []JobConfig{{Metric: "nope"}, {Semiring: "nand"}, {Basis: "rows"}} {
+		if _, err := bad.CoreConfig(); err == nil {
+			t.Fatalf("config %+v should be rejected", bad)
+		}
+	}
+
+	req := adderRequest(t, 4, core.Config{})
+	spec, err := JobConfig{}.Spec(req.Circuit)
+	if err != nil || len(spec.Groups) != 1 || len(spec.Groups[0].Bits) != 5 {
+		t.Fatalf("default spec %+v, err %v", spec, err)
+	}
+	if _, err := (JobConfig{Outputs: []GroupConfig{{Name: "x", Bits: []int{99}}}}).Spec(req.Circuit); err == nil {
+		t.Fatal("out-of-range output bit should be rejected")
+	}
+}
+
+func TestEngineRetainsBoundedJobs(t *testing.T) {
+	e := New(Options{Workers: 1, RetainJobs: 3})
+	defer e.Close()
+	cfg := core.Config{K: 4, M: 3, Samples: 1 << 6, Seed: 1, MaxSteps: 1}
+	var last *Job
+	for i := 0; i < 8; i++ {
+		j, err := e.Submit(adderRequest(t, 4, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		last = j
+	}
+	// One more submission triggers pruning of the oldest terminal jobs.
+	j, err := e.Submit(adderRequest(t, 4, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if got := len(e.List(false)); got > 3+1 {
+		t.Fatalf("engine retains %d jobs, want <= 4 (bound 3 + newest)", got)
+	}
+	// Evicted jobs are gone; the most recent ones are still queryable.
+	if _, err := e.Get(j.ID); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+	if _, err := e.Get(last.ID); err != nil {
+		t.Fatalf("recent job evicted: %v", err)
+	}
+}

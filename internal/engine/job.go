@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// State is a job's lifecycle stage. Transitions are linear:
+// queued -> running -> {done, failed, cancelled}, with the shortcut
+// queued -> cancelled for jobs cancelled before a worker picks them up.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is one unit of work for the engine: a circuit, its output
+// interpretation, and the flow configuration. The engine overrides the
+// Config's Cache and Progress fields to wire in the shared factorization
+// cache and the per-job trace stream.
+type Request struct {
+	Circuit *logic.Circuit
+	Spec    qor.OutputSpec
+	Config  core.Config
+}
+
+// Job tracks one submitted approximation run.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	trace    []core.TracePoint
+	result   *core.Result
+	err      error
+	cancel   context.CancelFunc
+
+	req  Request
+	done chan struct{}
+
+	cacheHits, cacheMisses uint64
+}
+
+func newJob(req Request) (*Job, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("engine: job id: %w", err)
+	}
+	return &Job{
+		ID:      "job-" + hex.EncodeToString(b[:]),
+		state:   StateQueued,
+		created: time.Now(),
+		req:     req,
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// markRunning flips a queued job to running; it returns false when the job
+// was cancelled while still in the queue.
+func (j *Job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal outcome.
+func (j *Job) finish(state State, res *core.Result, err error, hits, misses uint64) {
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.cacheHits, j.cacheMisses = hits, misses
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cancelQueued marks a still-queued job cancelled; the worker that later
+// dequeues it will skip it. Returns false if the job already left the queue.
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCancelled
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+func (j *Job) appendTrace(p core.TracePoint) {
+	j.mu.Lock()
+	j.trace = append(j.trace, p)
+	j.mu.Unlock()
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the flow result once the job is done (nil otherwise).
+func (j *Job) Result() *core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the terminal error of a failed or cancelled job.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State returns the current lifecycle stage.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// ResultSummary condenses a finished job's outcome for status responses.
+type ResultSummary struct {
+	BestStep          int         `json:"best_step"`
+	Steps             int         `json:"steps"`
+	AccurateModelArea float64     `json:"accurate_model_area"`
+	BestNormArea      float64     `json:"best_norm_area"`
+	BestReport        *qor.Report `json:"best_report,omitempty"`
+}
+
+// Status is a point-in-time JSON-ready snapshot of a job.
+type Status struct {
+	ID          string            `json:"id"`
+	State       State             `json:"state"`
+	Created     time.Time         `json:"created"`
+	Started     *time.Time        `json:"started,omitempty"`
+	Finished    *time.Time        `json:"finished,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	CacheHits   uint64            `json:"cache_hits"`
+	CacheMisses uint64            `json:"cache_misses"`
+	Trace       []core.TracePoint `json:"trace,omitempty"`
+	Result      *ResultSummary    `json:"result,omitempty"`
+}
+
+// Snapshot captures the job's current status. withTrace controls whether the
+// (possibly long) exploration trace is included.
+func (j *Job) Snapshot(withTrace bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		Created:     j.created,
+		CacheHits:   j.cacheHits,
+		CacheMisses: j.cacheMisses,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if withTrace && len(j.trace) > 0 {
+		st.Trace = append([]core.TracePoint(nil), j.trace...)
+	}
+	if j.state == StateDone && j.result != nil {
+		sum := &ResultSummary{
+			BestStep:          j.result.BestStep,
+			Steps:             len(j.result.Steps),
+			AccurateModelArea: j.result.AccurateModelArea,
+			BestNormArea:      1,
+		}
+		if j.result.BestStep >= 0 {
+			s := j.result.Steps[j.result.BestStep]
+			if j.result.AccurateModelArea > 0 {
+				sum.BestNormArea = s.ModelArea / j.result.AccurateModelArea
+			}
+			rep := s.Report
+			sum.BestReport = &rep
+		}
+		st.Result = sum
+	}
+	return st
+}
+
+// countingCache wraps the engine's shared cache with per-job hit/miss
+// counters, so each job can report exactly how much factorization work its
+// run reused.
+type countingCache struct {
+	inner        bmf.Cache
+	hits, misses atomic.Uint64
+}
+
+func (c *countingCache) Get(k bmf.Key) (any, bool) {
+	v, ok := c.inner.Get(k)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *countingCache) Put(k bmf.Key, v any) { c.inner.Put(k, v) }
+
+func (c *countingCache) Stats() bmf.CacheStats {
+	return bmf.CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/verilog"
+)
+
+// maxRequestBody bounds POST /v1/jobs bodies (BLIF netlists are text; 16 MiB
+// is orders of magnitude above the paper's largest benchmark).
+const maxRequestBody = 16 << 20
+
+// Server is the HTTP front end of an Engine.
+//
+// Routes:
+//
+//	POST   /v1/jobs                 submit (BLIF or benchmark + JSON config)
+//	GET    /v1/jobs                 list job statuses
+//	GET    /v1/jobs/{id}            status + exploration trace
+//	POST   /v1/jobs/{id}/cancel     cancel (DELETE /v1/jobs/{id} works too)
+//	GET    /v1/jobs/{id}/result.blif  approximate netlist as BLIF
+//	GET    /v1/jobs/{id}/result.v     approximate netlist as Verilog
+//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text format
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// NewServer wraps an engine with the HTTP API.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result.v", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitRequest is the POST /v1/jobs body: exactly one of BLIF or Benchmark
+// names the circuit; Config tunes the flow.
+type submitRequest struct {
+	// BLIF is a complete combinational BLIF netlist, inline.
+	BLIF string `json:"blif,omitempty"`
+	// Benchmark names one of the paper's circuits (Adder32, Mult8, BUT,
+	// MAC, SAD, FIR, Fig3) instead of supplying BLIF.
+	Benchmark string    `json:"benchmark,omitempty"`
+	Config    JobConfig `json:"config"`
+}
+
+type submitResponse struct {
+	ID         string `json:"id"`
+	State      State  `json:"state"`
+	StatusURL  string `json:"status_url"`
+	CancelURL  string `json:"cancel_url"`
+	BLIFURL    string `json:"result_blif_url"`
+	VerilogURL string `json:"result_verilog_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if (req.BLIF == "") == (req.Benchmark == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of blif or benchmark is required")
+		return
+	}
+	cfg, err := req.Config.CoreConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var job Request
+	job.Config = cfg
+	if req.Benchmark != "" {
+		bm, err := bench.ByName(req.Benchmark)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		job.Circuit = bm.Circ
+		job.Spec = bm.Spec
+		if len(req.Config.Outputs) > 0 {
+			if job.Spec, err = req.Config.Spec(bm.Circ); err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		if job.Config.Sequence == nil {
+			job.Config.Sequence = bm.Seq
+		}
+	} else {
+		circ, err := blif.Read(strings.NewReader(req.BLIF))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse blif: %v", err)
+			return
+		}
+		job.Circuit = circ
+		if job.Spec, err = req.Config.Spec(circ); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	j, err := s.engine.Submit(job)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err == ErrClosed:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:         j.ID,
+		State:      j.State(),
+		StatusURL:  "/v1/jobs/" + j.ID,
+		CancelURL:  "/v1/jobs/" + j.ID + "/cancel",
+		BLIFURL:    "/v1/jobs/" + j.ID + "/result.blif",
+		VerilogURL: "/v1/jobs/" + j.ID + "/result.v",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.List(false))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	withTrace := r.URL.Query().Get("trace") != "0"
+	writeJSON(w, http.StatusOK, j.Snapshot(withTrace))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	state, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]State{"state": state})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	switch j.State() {
+	case StateDone:
+	case StateFailed, StateCancelled:
+		writeError(w, http.StatusGone, "job %s is %s", j.ID, j.State())
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.ID, j.State())
+		return
+	}
+	circ, err := j.Result().BestCircuit()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rebuild circuit: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if strings.HasSuffix(r.URL.Path, ".v") {
+		err = verilog.Write(w, circ)
+	} else {
+		err = blif.Write(w, circ)
+	}
+	if err != nil {
+		// The 200 header is already out; the truncated body is the best
+		// signal left.
+		fmt.Fprintf(w, "\n# error: %v\n", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.engine.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	write("blasys_jobs_completed_total", "Jobs finished successfully.", "counter", float64(m.JobsCompleted))
+	write("blasys_jobs_failed_total", "Jobs finished with an error.", "counter", float64(m.JobsFailed))
+	write("blasys_jobs_cancelled_total", "Jobs cancelled before completing.", "counter", float64(m.JobsCancelled))
+	write("blasys_jobs_running", "Jobs currently executing on workers.", "gauge", float64(m.JobsRunning))
+	write("blasys_queue_depth", "Jobs waiting for a worker.", "gauge", float64(m.QueueDepth))
+	write("blasys_bmf_cache_hits_total", "Factorization cache hits.", "counter", float64(m.Cache.Hits))
+	write("blasys_bmf_cache_misses_total", "Factorization cache misses.", "counter", float64(m.Cache.Misses))
+	write("blasys_bmf_cache_entries", "Factorizations resident in the cache.", "gauge", float64(m.Cache.Entries))
+}

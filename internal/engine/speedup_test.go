@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/core"
+)
+
+// speedupConfig is the workload for the sequential-vs-parallel comparison:
+// the paper's Mult8 benchmark, explored a fixed number of steps. Both the
+// profiling phase (per-block factorization + mapping) and the exploration
+// phase (per-candidate Monte-Carlo QoR) honour Config.Parallelism, so the
+// wall-clock ratio directly measures the worker-pool payoff.
+func speedupConfig(parallelism int) core.Config {
+	return core.Config{
+		Samples: 1 << 12, Seed: 1, ExploreFully: true, MaxSteps: 8,
+		Parallelism: parallelism,
+	}
+}
+
+func runMult8(tb testing.TB, parallelism int) time.Duration {
+	tb.Helper()
+	bm := bench.Mult8()
+	start := time.Now()
+	if _, err := core.Approximate(bm.Circ, bm.Spec, speedupConfig(parallelism)); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestParallelExplorationSpeedup is the acceptance check: with at least four
+// workers the exploration must run at least twice as fast as sequentially.
+func TestParallelExplorationSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	cpus := runtime.GOMAXPROCS(0)
+	if cpus < 4 {
+		t.Skipf("need >= 4 CPUs for the speedup bound, have %d", cpus)
+	}
+	workers := cpus
+	if workers > 8 {
+		workers = 8
+	}
+	// Warm-up run to stabilize allocator and caches before timing.
+	runMult8(t, workers)
+	seq := runMult8(t, 1)
+	par := runMult8(t, workers)
+	ratio := float64(seq) / float64(par)
+	t.Logf("Mult8 exploration: sequential %v, parallel(%d) %v, speedup %.2fx",
+		seq, workers, par, ratio)
+	if ratio < 2 {
+		t.Errorf("parallel exploration speedup %.2fx < 2x", ratio)
+	}
+}
+
+// BenchmarkExplorationSequential / BenchmarkExplorationParallel feed the
+// perf trajectory (scripts/bench.sh): the same Mult8 workload at one worker
+// and at all cores.
+func BenchmarkExplorationSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runMult8(b, 1)
+	}
+}
+
+func BenchmarkExplorationParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runMult8(b, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkExplorationMAC mirrors the MAC benchmark (sequential evaluation
+// via accumulator feedback) at both parallelism levels.
+func BenchmarkExplorationMAC(b *testing.B) {
+	bm := bench.MAC()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := core.Config{
+				Samples: 1 << 10, Seed: 1, ExploreFully: true, MaxSteps: 4,
+				Parallelism: tc.workers, Sequence: bm.Seq,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Approximate(bm.Circ, bm.Spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheWarmJob measures a full engine job cold vs warm: the warm
+// run reuses every factorization from the shared cache.
+func BenchmarkCacheWarmJob(b *testing.B) {
+	bm := bench.Mult8()
+	req := Request{Circuit: bm.Circ, Spec: bm.Spec, Config: speedupConfig(0)}
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	submit := func() *Job {
+		j, err := e.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if j.State() != StateDone {
+			b.Fatalf("job %s: %v", j.State(), j.Err())
+		}
+		return j
+	}
+	cold := submit() // populate the cache outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.StopTimer()
+	warm := submit()
+	b.ReportMetric(float64(warm.Snapshot(false).CacheHits), "cache-hits")
+	_ = cold
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# bench.sh — run the benchmark suite and record the perf trajectory.
+#
+# Runs the root-package paper-reproduction benchmarks (Tables 1-3, Figures
+# 3-5, ablations, engine speedup) plus the internal/engine service
+# benchmarks, and writes the root suite's headline metrics to
+# BENCH_<date>.json in the repo root via the -benchjson test flag.
+#
+# Usage:
+#   scripts/bench.sh                  # full suite, BENCH_$(date +%F).json
+#   scripts/bench.sh EngineSpeedup    # only benchmarks matching the pattern
+#   OUT=custom.json scripts/bench.sh  # override the output file
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+echo "== root benchmarks (pattern: $PATTERN) -> $OUT"
+go test . -run '^$' -bench "$PATTERN" -benchtime 1x -timeout 60m -benchjson "$OUT"
+
+echo "== engine service benchmarks"
+go test ./internal/engine -run '^$' -bench . -benchtime 1x -timeout 30m
+
+echo "== wrote $OUT"
