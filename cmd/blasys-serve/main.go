@@ -33,6 +33,12 @@
 //	curl -s -X POST localhost:8080/v1/jobs/$JOB/cancel
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
+//
+// Production profiling (off by default): -pprof-addr serves net/http/pprof
+// on a separate listener so profiles never ride the public API address:
+//
+//	blasys-serve -addr :8080 -pprof-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only when -pprof-addr is set
 	"os"
 	"os/signal"
 	"runtime"
@@ -57,15 +64,16 @@ func main() {
 		workers     = flag.Int("workers", 2, "jobs run concurrently")
 		queueSize   = flag.Int("queue", 64, "bounded job queue size (submissions beyond it are rejected)")
 		parallelism = flag.Int("job-parallelism", 0, "worker goroutines per job (0 = GOMAXPROCS/workers)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queueSize, *parallelism); err != nil {
+	if err := run(*addr, *workers, *queueSize, *parallelism, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueSize, parallelism int) error {
+func run(addr string, workers, queueSize, parallelism int, pprofAddr string) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -91,6 +99,18 @@ func run(addr string, workers, queueSize, parallelism int) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if pprofAddr != "" {
+		// Serve the pprof handlers (registered on the DefaultServeMux by the
+		// blank import) on their own listener, keeping profiling off the
+		// public API address.
+		go func() {
+			log.Printf("blasys-serve pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("blasys-serve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"github.com/blasys-go/blasys/internal/tt"
 )
@@ -94,6 +96,12 @@ type Options struct {
 // Options.TauSweep is nil.
 var DefaultTauSweep = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 
+// sweepSem is the machine-wide goroutine budget for parallel tau sweeps,
+// shared by every concurrent Factorize call so nesting under an
+// already-parallel caller (block profiling, engine workers) cannot
+// oversubscribe the CPU.
+var sweepSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
 // Result carries a factorization and its error against the input matrix.
 type Result struct {
 	B, C *tt.Matrix
@@ -134,14 +142,53 @@ func Factorize(M *tt.Matrix, f int, opt Options) (*Result, error) {
 		sweep = DefaultTauSweep
 	}
 
-	var best *Result
-	for _, tau := range sweep {
-		B, C := asso(M, f, tau, wplus, wminus, weights, opt.Semiring)
+	// The column co-occurrence statistics feeding the association matrix are
+	// tau-independent: compute them once and share across the whole sweep.
+	stats := newAssoStats(M)
+	wt := tt.NewWeightTable(weights)
+
+	results := make([]*Result, len(sweep))
+	runTau := func(ti int) {
+		tau := sweep[ti]
+		B, C := asso(M, f, tau, wplus, wminus, wt, stats, opt.Semiring)
 		if !opt.SkipRefine {
-			refineRows(M, B, C, weights, opt.Semiring)
+			refineRows(M, B, C, wt, opt.Semiring)
 		}
-		res := score(M, B, C, weights, opt.Semiring)
+		res := score(M, B, C, wt, opt.Semiring)
 		res.Tau = tau
+		results[ti] = res
+	}
+	// Each tau's factorization is independent; sweep them in parallel.
+	// Selection below walks results in sweep order, so the winner is the
+	// same factorization the serial sweep finds. Tokens come from the
+	// package-global sweepSem, so concurrent Factorize callers (profiling
+	// is already parallel across blocks) share one machine-wide budget
+	// instead of multiplying goroutines; a caller that gets no token runs
+	// the tau inline.
+	if runtime.GOMAXPROCS(0) > 1 && len(sweep) > 1 {
+		var wg sync.WaitGroup
+		for ti := range sweep {
+			select {
+			case sweepSem <- struct{}{}:
+				wg.Add(1)
+				go func(ti int) {
+					defer wg.Done()
+					defer func() { <-sweepSem }()
+					runTau(ti)
+				}(ti)
+			default:
+				runTau(ti)
+			}
+		}
+		wg.Wait()
+	} else {
+		for ti := range sweep {
+			runTau(ti)
+		}
+	}
+
+	var best *Result
+	for _, res := range results {
 		if best == nil || res.WeightedError < best.WeightedError ||
 			(res.WeightedError == best.WeightedError && res.Hamming < best.Hamming) {
 			best = res
@@ -151,21 +198,21 @@ func Factorize(M *tt.Matrix, f int, opt Options) (*Result, error) {
 }
 
 // score computes the error metrics of a candidate factorization.
-func score(M, B, C *tt.Matrix, weights []float64, sr Semiring) *Result {
+func score(M, B, C *tt.Matrix, wt *tt.WeightTable, sr Semiring) *Result {
 	prod := sr.Product(B, C)
 	return &Result{
 		B:             B,
 		C:             C,
 		Hamming:       tt.HammingDistance(M, prod),
-		WeightedError: tt.WeightedHamming(M, prod, weights),
+		WeightedError: wt.WeightedHamming(M, prod),
 	}
 }
 
 // asso is the greedy ASSO algorithm with weighted cover. It returns the
 // usage matrix B (n x f) and basis matrix C (f x m).
-func asso(M *tt.Matrix, f int, tau, wplus, wminus float64, weights []float64, sr Semiring) (B, C *tt.Matrix) {
+func asso(M *tt.Matrix, f int, tau, wplus, wminus float64, wt *tt.WeightTable, stats *assoStats, sr Semiring) (B, C *tt.Matrix) {
 	n, m := M.Rows, M.Cols
-	cand := associationRows(M, tau)
+	cand := stats.rows(tau)
 	// Also offer the m unit rows as candidates so ASSO can always fall
 	// back to reproducing single columns exactly.
 	for j := 0; j < m; j++ {
@@ -179,21 +226,26 @@ func asso(M *tt.Matrix, f int, tau, wplus, wminus float64, weights []float64, sr
 	// (OR semiring greedy; the XOR variant reuses the same greedy seed and
 	// relies on refinement for field-accurate usage).
 	covered := make([]uint64, n)
+	// Two usage buffers, swapped as better candidates are found, keep the
+	// inner candidate loop allocation-free.
+	use := make([]bool, n)
+	bestUse := make([]bool, n)
 
 	for i := 0; i < f; i++ {
 		bestGain := math.Inf(-1)
 		var bestRow uint64
-		var bestUse []bool
+		found := false
 		for _, c := range cand {
-			gain, use := coverGain(M, covered, c, wplus, wminus, weights)
+			gain := coverGainInto(M, covered, c, wplus, wminus, wt, use)
 			if gain > bestGain {
 				bestGain = gain
 				bestRow = c
-				bestUse = use
+				use, bestUse = bestUse, use
+				found = true
 			}
 		}
-		if bestUse == nil {
-			break // no candidate improves anything; leave remaining rows zero
+		if !found {
+			break // no candidates at all; leave remaining rows zero
 		}
 		C.Row[i] = bestRow
 		for r := 0; r < n; r++ {
@@ -206,70 +258,77 @@ func asso(M *tt.Matrix, f int, tau, wplus, wminus float64, weights []float64, sr
 	return B, C
 }
 
-// coverGain evaluates adding basis row c: for every matrix row r it decides
-// whether using c improves the weighted cover, returning the total gain and
-// the per-row usage decisions.
-func coverGain(M *tt.Matrix, covered []uint64, c uint64, wplus, wminus float64, weights []float64) (float64, []bool) {
-	use := make([]bool, M.Rows)
+// coverGainInto evaluates adding basis row c: for every matrix row r it
+// decides whether using c improves the weighted cover, writing the per-row
+// usage decisions into use (every entry is overwritten) and returning the
+// total gain.
+func coverGainInto(M *tt.Matrix, covered []uint64, c uint64, wplus, wminus float64, wt *tt.WeightTable, use []bool) float64 {
 	total := 0.0
 	for r := 0; r < M.Rows; r++ {
 		newly := c &^ covered[r] // bits this basis row would newly set
 		if newly == 0 {
+			use[r] = false
 			continue
 		}
 		good := newly & M.Row[r] // newly covered 1s
 		bad := newly &^ M.Row[r] // newly covered 0s (overcover)
-		g := wplus*weightSum(good, weights) - wminus*weightSum(bad, weights)
+		g := wplus*wt.Sum(good) - wminus*wt.Sum(bad)
 		if g > 0 {
 			use[r] = true
 			total += g
+		} else {
+			use[r] = false
 		}
 	}
-	return total, use
+	return total
 }
 
-func weightSum(w uint64, weights []float64) float64 {
-	s := 0.0
-	for w != 0 {
-		j := bits.TrailingZeros64(w)
-		s += weights[j]
-		w &= w - 1
-	}
-	return s
+// assoStats carries the tau-independent column co-occurrence counts behind
+// the ASSO association matrix, so a threshold sweep pays the O(rows * ones^2)
+// counting pass once instead of once per tau.
+type assoStats struct {
+	colOnes []int
+	inter   [][]int
 }
 
-// associationRows builds the ASSO candidate set: row j of the association
-// matrix has bit l set iff conf(j -> l) = |col_j AND col_l| / |col_j| >= tau.
-func associationRows(M *tt.Matrix, tau float64) []uint64 {
+func newAssoStats(M *tt.Matrix) *assoStats {
 	m := M.Cols
-	colOnes := make([]int, m)
-	inter := make([][]int, m)
-	for j := range inter {
-		inter[j] = make([]int, m)
+	s := &assoStats{colOnes: make([]int, m), inter: make([][]int, m)}
+	for j := range s.inter {
+		s.inter[j] = make([]int, m)
 	}
 	for r := 0; r < M.Rows; r++ {
 		row := M.Row[r]
 		w := row
 		for w != 0 {
 			j := bits.TrailingZeros64(w)
-			colOnes[j]++
+			s.colOnes[j]++
+			inter := s.inter[j]
 			v := row
 			for v != 0 {
 				l := bits.TrailingZeros64(v)
-				inter[j][l]++
+				inter[l]++
 				v &= v - 1
 			}
 			w &= w - 1
 		}
 	}
+	return s
+}
+
+// rows builds the ASSO candidate set for one threshold: row j of the
+// association matrix has bit l set iff
+// conf(j -> l) = |col_j AND col_l| / |col_j| >= tau.
+func (s *assoStats) rows(tau float64) []uint64 {
+	m := len(s.colOnes)
 	rows := make([]uint64, 0, m)
 	for j := 0; j < m; j++ {
-		if colOnes[j] == 0 {
+		if s.colOnes[j] == 0 {
 			continue
 		}
 		var row uint64
 		for l := 0; l < m; l++ {
-			if float64(inter[j][l]) >= tau*float64(colOnes[j]) {
+			if float64(s.inter[j][l]) >= tau*float64(s.colOnes[j]) {
 				row |= 1 << uint(l)
 			}
 		}
@@ -294,8 +353,9 @@ func dedupe(xs []uint64) []uint64 {
 
 // refineRows replaces each row of B with the exactly optimal usage
 // combination for the fixed basis C under the given semiring and weights.
-// All 2^f combination values are precomputed once.
-func refineRows(M, B, C *tt.Matrix, weights []float64, sr Semiring) {
+// All 2^f combination values are precomputed once; each candidate diff is
+// scored by the byte-sliced weight table instead of a per-bit loop.
+func refineRows(M, B, C *tt.Matrix, wt *tt.WeightTable, sr Semiring) {
 	f := C.Rows
 	combos := make([]uint64, 1<<uint(f))
 	for s := 1; s < len(combos); s++ {
@@ -307,7 +367,6 @@ func refineRows(M, B, C *tt.Matrix, weights []float64, sr Semiring) {
 			combos[s] = rest | C.Row[low]
 		}
 	}
-	// Precompute weighted popcount per candidate diff lazily per row.
 	for r := 0; r < M.Rows; r++ {
 		target := M.Row[r]
 		bestS, bestErr := 0, math.Inf(1)
@@ -317,7 +376,7 @@ func refineRows(M, B, C *tt.Matrix, weights []float64, sr Semiring) {
 				bestS, bestErr = s, 0
 				break
 			}
-			e := weightSum(d, weights)
+			e := wt.Sum(d)
 			if e < bestErr {
 				bestS, bestErr = s, e
 			}

@@ -9,8 +9,13 @@
 //     (internal/synth), and technology-mapped for its area (internal/techmap).
 //  3. Exploration (Alg. 1, lines 12–22): starting from the accurate circuit,
 //     greedily decrement the factorization degree of whichever block hurts
-//     whole-circuit QoR the least, re-estimating QoR by Monte-Carlo
-//     simulation of the complete substituted circuit (internal/qor).
+//     whole-circuit QoR the least. QoR is re-estimated per candidate by the
+//     incremental cone-based engine (qor.IncrementalComparer), which
+//     simulates only the substituted block and the reached part of its
+//     fanout cone on top of a cached committed-circuit state and is
+//     bit-identical to Monte-Carlo simulation of the complete substituted
+//     circuit (the paper-literal path, kept behind
+//     Config.DisableIncremental and used for Sequence evaluation).
 //
 // The full exploration trace is recorded so callers can reproduce the
 // paper's trade-off curves (Figs. 4 and 5) as well as the threshold tables
@@ -21,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -91,6 +97,16 @@ type Config struct {
 	// content (see bmf.Cache). Sharing one cache across Approximate calls
 	// lets repeated or overlapping runs skip re-factorization entirely.
 	Cache bmf.Cache
+	// DisableIncremental forces exploration candidates to be evaluated by
+	// materializing the whole substituted circuit and resimulating it
+	// (logic.ReplaceBlocks + a full qor comparison), exactly as Algorithm 1
+	// is written. The default incremental engine simulates only each
+	// candidate block's fanout cone on top of a cached committed state
+	// (qor.IncrementalComparer) and produces bit-identical reports; this
+	// escape hatch exists for validation and A/B benchmarking. Sequence
+	// evaluation always uses the full path: feedback makes every cycle's
+	// state candidate-dependent, so there is no reusable baseline.
+	DisableIncremental bool
 }
 
 // Basis selects the BMF family used for block variants.
@@ -225,15 +241,86 @@ func ApproximateCtx(ctx context.Context, c *logic.Circuit, spec qor.OutputSpec, 
 		res.AccurateModelArea += p.AccurateArea
 	}
 
-	eval, err := qor.NewComparer(prepared, spec, cfg.Sequence, cfg.Samples, cfg.Seed)
+	ce, err := newCandidateEvaluator(res, blocks, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := explore(ctx, res, eval, cfg); err != nil {
+	if err := explore(ctx, res, ce, cfg); err != nil {
 		return nil, err
 	}
 	res.selectBest()
 	return res, nil
+}
+
+// candidateEvaluator measures exploration candidates — a candidate is
+// (block index, next-lower degree) on top of the committed degree vector —
+// and advances the committed state when the explorer picks one.
+// evaluate may be called concurrently for different candidates; commit is
+// called serially, never concurrently with evaluate.
+type candidateEvaluator interface {
+	// evaluate reports the whole-circuit QoR of decrementing block bi by one
+	// degree from the committed state in degrees.
+	evaluate(degrees []int, bi int) (qor.Report, error)
+	// commit records that block bi was decremented to newDegree.
+	commit(bi, newDegree int) error
+}
+
+// newCandidateEvaluator picks the evaluation engine: the incremental
+// cone-based comparer by default, the paper-literal full-rebuild path for
+// sequence (feedback) evaluation or when Config.DisableIncremental is set.
+func newCandidateEvaluator(res *Result, blocks []partition.Block, cfg Config) (candidateEvaluator, error) {
+	if cfg.Sequence == nil && !cfg.DisableIncremental {
+		ic, err := qor.NewIncrementalComparer(res.Circuit, res.Spec, blocks, cfg.Samples, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &incrementalEval{res: res, ic: ic}, nil
+	}
+	cmp, err := qor.NewComparer(res.Circuit, res.Spec, cfg.Sequence, cfg.Samples, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &fullRebuildEval{res: res, cmp: cmp}, nil
+}
+
+// fullRebuildEval materializes every candidate with logic.ReplaceBlocks and
+// resimulates the complete substituted circuit.
+type fullRebuildEval struct {
+	res *Result
+	cmp qor.Comparer
+}
+
+func (f *fullRebuildEval) evaluate(degrees []int, bi int) (qor.Report, error) {
+	trial := append([]int(nil), degrees...)
+	trial[bi]--
+	circ, err := f.res.buildCircuit(trial)
+	if err != nil {
+		return qor.Report{}, err
+	}
+	return f.cmp.Compare(circ)
+}
+
+func (f *fullRebuildEval) commit(bi, newDegree int) error { return nil }
+
+// incrementalEval evaluates candidates through the cone-based incremental
+// comparer: only the substituted block implementation and its transitive
+// fanout are simulated, on top of the cached committed circuit state.
+type incrementalEval struct {
+	res *Result
+	ic  *qor.IncrementalComparer
+}
+
+func (e *incrementalEval) variant(bi, degree int) *logic.Circuit {
+	return e.res.Profiles[bi].Variants[degree-1].Impl
+}
+
+func (e *incrementalEval) evaluate(degrees []int, bi int) (qor.Report, error) {
+	return e.ic.CompareCandidate(bi, e.variant(bi, degrees[bi]-1))
+}
+
+func (e *incrementalEval) commit(bi, newDegree int) error {
+	_, err := e.ic.Commit(bi, e.variant(bi, newDegree))
+	return err
 }
 
 // blockOutputWeights computes, per block, the column weights for weighted
@@ -274,8 +361,7 @@ func blockOutputWeights(c *logic.Circuit, blocks []partition.Block, spec qor.Out
 		for j, node := range b.Outputs {
 			w := 0.0
 			for r := reach[node]; r != 0; r &= r - 1 {
-				oi := trailingZeros(r)
-				w += sig[oi]
+				w += sig[bits.TrailingZeros64(r)]
 			}
 			if w <= 0 {
 				w = 1.0 / math.Ldexp(1, 20) // unreachable: negligible weight
@@ -296,15 +382,6 @@ func blockOutputWeights(c *logic.Circuit, blocks []partition.Block, spec qor.Out
 		out[bi] = ws
 	}
 	return out
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // profileBlocks runs Alg. 1's profiling phase in parallel across blocks.
@@ -416,11 +493,11 @@ func profileBlock(ctx context.Context, c *logic.Circuit, b partition.Block, colW
 }
 
 // explore is Alg. 1's circuit-space exploration (lines 12–22).
-func explore(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
+func explore(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
 	if cfg.Lazy {
-		return exploreLazy(ctx, res, eval, cfg)
+		return exploreLazy(ctx, res, ce, cfg)
 	}
-	return exploreExhaustive(ctx, res, eval, cfg)
+	return exploreExhaustive(ctx, res, ce, cfg)
 }
 
 // commitStep appends a committed exploration step and streams it to the
@@ -435,7 +512,7 @@ func (r *Result) commitStep(s Step, cfg Config) {
 // exploreLazy is the lazy-greedy variant: each candidate (block at its next
 // degree) keeps the error measured the last time it was evaluated; only the
 // smallest stale estimate is re-measured before committing.
-func exploreLazy(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
+func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
 	nBlocks := len(res.Profiles)
 	degrees := make([]int, nBlocks)
 	for bi, p := range res.Profiles {
@@ -467,14 +544,7 @@ func exploreLazy(ctx context.Context, res *Result, eval qor.Comparer, cfg Config
 			go func(i int, cd *cand) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				trial := append([]int(nil), degrees...)
-				trial[cd.bi]--
-				circ, err := res.buildCircuit(trial)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				cd.report, errs[i] = eval.Compare(circ)
+				cd.report, errs[i] = ce.evaluate(degrees, cd.bi)
 				cd.err = cd.report.Value(cfg.Metric)
 				cd.version = version
 			}(i, cd)
@@ -536,6 +606,9 @@ func exploreLazy(ctx context.Context, res *Result, eval qor.Comparer, cfg Config
 		}
 		degrees[chosen.bi]--
 		version++
+		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
+			return err
+		}
 		res.commitStep(Step{
 			BlockIndex: chosen.bi,
 			NewDegree:  degrees[chosen.bi],
@@ -554,7 +627,7 @@ func exploreLazy(ctx context.Context, res *Result, eval qor.Comparer, cfg Config
 
 // exploreExhaustive re-evaluates every candidate each iteration, exactly as
 // Algorithm 1 is written.
-func exploreExhaustive(ctx context.Context, res *Result, eval qor.Comparer, cfg Config) error {
+func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
 	nBlocks := len(res.Profiles)
 	degrees := make([]int, nBlocks) // current degree; MaxDegree = accurate
 	for bi, p := range res.Profiles {
@@ -594,14 +667,7 @@ func exploreExhaustive(ctx context.Context, res *Result, eval qor.Comparer, cfg 
 			go func(cd *cand) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				trial := append([]int(nil), degrees...)
-				trial[cd.bi]--
-				circ, err := res.buildCircuit(trial)
-				if err != nil {
-					cd.err = err
-					return
-				}
-				cd.report, cd.err = eval.Compare(circ)
+				cd.report, cd.err = ce.evaluate(degrees, cd.bi)
 			}(cd)
 		}
 		wg.Wait()
@@ -621,6 +687,9 @@ func exploreExhaustive(ctx context.Context, res *Result, eval qor.Comparer, cfg 
 		}
 		chosen := cands[best]
 		degrees[chosen.bi]--
+		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
+			return err
+		}
 		res.commitStep(Step{
 			BlockIndex: chosen.bi,
 			NewDegree:  degrees[chosen.bi],

@@ -1,0 +1,103 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransitiveFanout(t *testing.T) {
+	c := New("fan")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	ab := c.AddGate(And, a, b)
+	abd := c.AddGate(Or, ab, d)
+	only := c.AddGate(Not, d)
+	c.AddOutput("x", abd)
+	c.AddOutput("y", only)
+
+	got := c.TransitiveFanout(ab)
+	for id, want := range map[NodeID]bool{a: false, b: false, d: false, ab: true, abd: true, only: false} {
+		if got[id] != want {
+			t.Errorf("fanout(ab)[%d] = %v, want %v", id, got[id], want)
+		}
+	}
+	got = c.TransitiveFanout(d)
+	if !got[abd] || !got[only] || got[ab] {
+		t.Errorf("fanout(d) wrong: %v", got)
+	}
+}
+
+// TestTransitiveFanoutInverse cross-checks fanout against fanin: node y is
+// in the fanout of x iff x is in the fanin of y.
+func TestTransitiveFanoutInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := New("rand")
+	var pool []NodeID
+	for i := 0; i < 6; i++ {
+		pool = append(pool, c.AddInput("i"))
+	}
+	ops := []Op{And, Or, Xor, Nand, Not}
+	for i := 0; i < 40; i++ {
+		op := ops[rng.Intn(len(ops))]
+		var g NodeID
+		if op == Not {
+			g = c.AddGate(op, pool[rng.Intn(len(pool))])
+		} else {
+			g = c.AddGate(op, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+		}
+		pool = append(pool, g)
+	}
+	c.AddOutput("o", pool[len(pool)-1])
+
+	for x := 0; x < len(c.Nodes); x += 3 {
+		fanout := c.TransitiveFanout(NodeID(x))
+		for y := range c.Nodes {
+			fanin := c.TransitiveFanin(NodeID(y))
+			if fanout[y] != fanin[x] {
+				t.Fatalf("fanout(%d)[%d] = %v but fanin(%d)[%d] = %v", x, y, fanout[y], y, x, fanin[x])
+			}
+		}
+	}
+}
+
+// TestSimulatorReset verifies that a simulator rebound to a different
+// circuit produces the same words as a fresh simulator.
+func TestSimulatorReset(t *testing.T) {
+	big := New("big")
+	ins := big.AddInputs("x", 4)
+	acc := ins[0]
+	for _, in := range ins[1:] {
+		acc = big.AddGate(Xor, acc, in)
+	}
+	big.AddOutput("p", acc)
+
+	small := New("small")
+	a := small.AddInput("a")
+	b := small.AddInput("b")
+	small.AddOutput("o", small.AddGate(And, a, b))
+
+	sim := NewSimulator(big)
+	in4 := []uint64{0xdead, 0xbeef, 0x1234, 0x5678}
+	want := NewSimulator(big).Run(in4, nil)
+	got := sim.Run(in4, nil)
+	if want[0] != got[0] {
+		t.Fatalf("big: %x != %x", got[0], want[0])
+	}
+
+	sim.Reset(small)
+	in2 := []uint64{0xf0f0, 0xff00}
+	want = NewSimulator(small).Run(in2, nil)
+	got = sim.Run(in2, nil)
+	if want[0] != got[0] {
+		t.Fatalf("after Reset to small: %x != %x", got[0], want[0])
+	}
+
+	// And back to the larger circuit: the buffer must regrow.
+	sim.Reset(big)
+	want = NewSimulator(big).Run(in4, nil)
+	got = sim.Run(in4, nil)
+	if want[0] != got[0] {
+		t.Fatalf("after Reset to big: %x != %x", got[0], want[0])
+	}
+}

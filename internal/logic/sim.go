@@ -21,6 +21,20 @@ func NewSimulator(c *Circuit) *Simulator {
 	return &Simulator{c: c, words: make([]uint64, len(c.Nodes))}
 }
 
+// Reset rebinds the simulator to a (possibly different) circuit, reusing the
+// existing word buffer when its capacity suffices. This lets hot loops that
+// simulate a stream of distinct circuits (e.g. candidate evaluation during
+// exploration) amortize one buffer across all of them instead of allocating
+// per circuit.
+func (s *Simulator) Reset(c *Circuit) {
+	s.c = c
+	if cap(s.words) < len(c.Nodes) {
+		s.words = make([]uint64, len(c.Nodes))
+	} else {
+		s.words = s.words[:len(c.Nodes)]
+	}
+}
+
 // Run simulates one 64-sample batch. inputWords[i] carries the 64 values of
 // primary input i. The returned slice holds one word per primary output and
 // aliases the simulator's internal buffer: copy it before the next Run.

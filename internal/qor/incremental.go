@@ -1,0 +1,609 @@
+package qor
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/partition"
+)
+
+// IncrementalComparer evaluates block-substitution candidates against the
+// accurate reference without materializing or fully resimulating the
+// substituted circuit. It is the exploration-time fast path of Algorithm 1:
+// every candidate differs from the committed circuit in exactly one block, so
+// only that block's implementation and its transitive fanout cone need new
+// simulation — everything upstream and sideways is read from a per-batch
+// cache of the committed circuit's node words.
+//
+// A candidate evaluation compiles a small straight-line program: the
+// substituted implementation's gates followed by the statically-dirty fanout
+// cone, with every operand pre-resolved to either a scratch slot (recomputed
+// this batch) or a committed-cache read. Each 64-sample batch then runs the
+// implementation segment, compares the block's output words against the
+// cache, and — when they match, which is the common case for low-error
+// variants — skips the cone and the whole metric loop by folding the batch's
+// cached metric partial. Only batches whose block outputs genuinely change
+// simulate the cone and re-score outputs.
+//
+// The committed state starts at the accurate circuit (every block accurate)
+// and advances via Commit as the exploration decrements block degrees. A
+// candidate is the pair (block index, implementation circuit); its evaluation
+// is bit-identical to rebuilding the whole substituted circuit with
+// logic.ReplaceBlocks and comparing it through Evaluator.Compare, because
+// both paths compute the same Boolean function on the same input stream
+// (skipping recomputation only of values proven equal) and share the metric
+// accumulation code (reportAccum).
+//
+// CompareCandidate is safe for concurrent use; Commit must not run
+// concurrently with CompareCandidate or with another Commit.
+type IncrementalComparer struct {
+	eval   *Evaluator
+	blocks []partition.Block
+
+	// impls[bi] is the committed implementation substituted for block bi,
+	// or nil while the block is still accurate.
+	impls []*logic.Circuit
+	// base[b][node] is the committed circuit's word for every node of the
+	// reference, batch b. Nodes interior to an approximated block hold stale
+	// values; by the definition of block outputs nothing outside the block
+	// reads them.
+	base [][]uint64
+	// committedRep is the committed circuit's report, returned without any
+	// simulation when a candidate's dirty cone reaches no primary output.
+	committedRep Report
+	// stats[b] is batch b's metric contribution for the committed circuit.
+	// Candidate batches whose outputs match the committed state fold this
+	// cached partial instead of re-decoding the batch.
+	stats []batchStats
+
+	scratchPool sync.Pool
+}
+
+// NewIncrementalComparer prepares the incremental evaluation engine for the
+// reference circuit decomposed into the given blocks. Sampling (exhaustive
+// vs Monte-Carlo, batch count, masks) follows NewEvaluator exactly. Memory
+// cost is one word per node per 64-sample batch.
+func NewIncrementalComparer(ref *logic.Circuit, spec OutputSpec, blocks []partition.Block, samples int, seed int64) (*IncrementalComparer, error) {
+	eval, err := NewEvaluator(ref, spec, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Blocks must be disjoint ascending intervals of the node order (the
+	// partition package's contract); the dirty-cone walk depends on it.
+	prevMax := logic.NodeID(-1)
+	for bi, b := range blocks {
+		if len(b.Gates) == 0 {
+			return nil, fmt.Errorf("qor: incremental: block %d has no gates", bi)
+		}
+		if b.Gates[0] <= prevMax {
+			return nil, fmt.Errorf("qor: incremental: block %d overlaps or precedes block %d in node order", bi, bi-1)
+		}
+		prevMax = b.Gates[len(b.Gates)-1]
+	}
+
+	ic := &IncrementalComparer{
+		eval:   eval,
+		blocks: blocks,
+		impls:  make([]*logic.Circuit, len(blocks)),
+		stats:  make([]batchStats, eval.nBatches),
+	}
+	// Cache the accurate circuit's full node-word state per batch.
+	sim := logic.NewSimulator(ref)
+	out := make([]uint64, len(ref.Outputs))
+	ic.base = make([][]uint64, eval.nBatches)
+	for b := 0; b < eval.nBatches; b++ {
+		sim.Run(eval.inWords[b], out)
+		ic.base[b] = append([]uint64(nil), sim.NodeWords()...)
+	}
+	ic.committedRep = ic.reportFromBase()
+	return ic, nil
+}
+
+// Samples returns the effective sample count (see Evaluator.Samples).
+func (ic *IncrementalComparer) Samples() int { return ic.eval.samples }
+
+// Reference returns the accurate circuit.
+func (ic *IncrementalComparer) Reference() *logic.Circuit { return ic.eval.ref }
+
+// CommittedReport returns the report of the committed circuit.
+func (ic *IncrementalComparer) CommittedReport() Report { return ic.committedRep }
+
+// progOp is one compiled instruction over the slot array: dst and the
+// operands a/b/c are all direct slot indices. Committed-cache values the
+// program needs are staged into their shadow slots by per-batch frontier
+// copies, so the execution loop performs no per-operand source dispatch.
+type progOp struct {
+	op      logic.Op
+	dst     int32
+	a, b, c int32
+}
+
+// coneUnit is one stretch of the compiled cone. checkIns == nil means an
+// unconditional run of accurate gates. Otherwise the unit is a committed
+// block implementation: per batch its boundary inputs (checkIns, whose slots
+// are always valid at this point) are compared against the cache; when none
+// changed the whole unit is skipped and its outputs (outNodes) are staged
+// from the cache instead.
+type coneUnit struct {
+	ops      []progOp
+	checkIns []logic.NodeID
+	outNodes []logic.NodeID
+}
+
+// icScratch is the pooled per-evaluation compile + execution state.
+type icScratch struct {
+	// slots is the word store: slots [0, len(ref.Nodes)) shadow reference
+	// nodes, the tail holds implementation-internal values.
+	slots []uint64
+	// dirty marks the static cone (nodes the program writes) during
+	// compilation; dirtyList records them for O(cone) clearing.
+	dirty     []bool
+	dirtyList []logic.NodeID
+
+	implOps []progOp // segment 1: candidate impl gates + output copies
+	// cone is segment 2: the downstream cone as a sequence of units.
+	// Accurate-gate runs execute unconditionally; committed-region units
+	// check their boundary inputs per batch and are skipped (outputs staged
+	// from the cache) when the change wave did not reach them.
+	cone []coneUnit
+	// outSlots[j] holds the candidate implementation's output j; blockOuts
+	// are the corresponding reference nodes.
+	outSlots  []int32
+	blockOuts []logic.NodeID
+	// implFrontier / coneFrontier list the committed-cache nodes each
+	// segment reads; their words are copied into the shadow slots before the
+	// segment runs. coneFrontier also includes every primary-output node the
+	// cone does not recompute, so output assembly reads slots uniformly.
+	implFrontier []logic.NodeID
+	coneFrontier []logic.NodeID
+	// inFrontier marks nodes already on a frontier list.
+	inFrontier []bool
+	// outSrc[i] is the slot of primary output i.
+	outSrc []int32
+	nSlots int
+
+	out []uint64
+	acc reportAccum
+}
+
+func (ic *IncrementalComparer) getScratch() *icScratch {
+	sc, _ := ic.scratchPool.Get().(*icScratch)
+	if sc == nil {
+		sc = &icScratch{}
+	}
+	n := len(ic.eval.ref.Nodes)
+	if len(sc.dirty) < n {
+		sc.dirty = make([]bool, n)
+		sc.inFrontier = make([]bool, n)
+	}
+	if len(sc.out) < len(ic.eval.ref.Outputs) {
+		sc.out = make([]uint64, len(ic.eval.ref.Outputs))
+	}
+	sc.dirtyList = sc.dirtyList[:0]
+	sc.implOps = sc.implOps[:0]
+	sc.cone = sc.cone[:0]
+	sc.outSlots = sc.outSlots[:0]
+	sc.blockOuts = sc.blockOuts[:0]
+	sc.implFrontier = sc.implFrontier[:0]
+	sc.coneFrontier = sc.coneFrontier[:0]
+	sc.outSrc = sc.outSrc[:0]
+	sc.nSlots = n
+	return sc
+}
+
+// putScratch clears the static-cone markers and returns the scratch to the
+// pool.
+func (ic *IncrementalComparer) putScratch(sc *icScratch) {
+	for _, n := range sc.dirtyList {
+		sc.dirty[n] = false
+	}
+	for _, n := range sc.implFrontier {
+		sc.inFrontier[n] = false
+	}
+	for _, n := range sc.coneFrontier {
+		sc.inFrontier[n] = false
+	}
+	ic.scratchPool.Put(sc)
+}
+
+// markDirty records node n as written by the compiled program.
+func (sc *icScratch) markDirty(n logic.NodeID) {
+	if !sc.dirty[n] {
+		sc.dirty[n] = true
+		sc.dirtyList = append(sc.dirtyList, n)
+	}
+}
+
+// pushUnit appends a cone unit, reusing a previous compilation's op storage
+// when available, and returns its index.
+func (sc *icScratch) pushUnit() int {
+	if len(sc.cone) < cap(sc.cone) {
+		sc.cone = sc.cone[:len(sc.cone)+1]
+		u := &sc.cone[len(sc.cone)-1]
+		u.ops = u.ops[:0]
+		u.checkIns = nil
+		u.outNodes = nil
+	} else {
+		sc.cone = append(sc.cone, coneUnit{})
+	}
+	return len(sc.cone) - 1
+}
+
+// operand resolves a reference-node read at compile time: dirty nodes are
+// recomputed into their shadow slots by the program; clean nodes are staged
+// into those slots by the given segment frontier.
+func (sc *icScratch) operand(n logic.NodeID, frontier *[]logic.NodeID) int32 {
+	if !sc.dirty[n] && !sc.inFrontier[n] {
+		sc.inFrontier[n] = true
+		*frontier = append(*frontier, n)
+	}
+	return int32(n)
+}
+
+// compileImpl appends an implementation's gates to ops, with the impl's
+// primary inputs bound to the given operands. It returns ops and the operand
+// of every impl output. Impl constants read the committed cache's constant
+// nodes (slot 0 = 0, slot 1 = all-ones), staged via the segment frontier.
+func (sc *icScratch) compileImpl(ops []progOp, impl *logic.Circuit, inOps []int32, frontier *[]logic.NodeID) ([]progOp, []int32) {
+	slotOf := make([]int32, len(impl.Nodes))
+	c0 := sc.operand(0, frontier)
+	c1 := sc.operand(1, frontier)
+	for i := range slotOf {
+		slotOf[i] = c0 // const0 by default
+	}
+	slotOf[1] = c1
+	for i, in := range impl.Inputs {
+		slotOf[in] = inOps[i]
+	}
+	for i := range impl.Nodes {
+		n := &impl.Nodes[i]
+		switch n.Op {
+		case logic.Const0, logic.Const1, logic.Input:
+			continue
+		}
+		dst := int32(sc.nSlots)
+		sc.nSlots++
+		op := progOp{op: n.Op, dst: dst}
+		fan := n.Fanins()
+		if len(fan) > 0 {
+			op.a = slotOf[fan[0]]
+		}
+		if len(fan) > 1 {
+			op.b = slotOf[fan[1]]
+		}
+		if len(fan) > 2 {
+			op.c = slotOf[fan[2]]
+		}
+		ops = append(ops, op)
+		slotOf[i] = dst
+	}
+	outs := make([]int32, len(impl.Outputs))
+	for j, o := range impl.Outputs {
+		outs[j] = slotOf[o]
+	}
+	return ops, outs
+}
+
+// compile builds the candidate program: the impl segment (with its outputs
+// staged in dedicated slots for the clean-batch check), the statically-dirty
+// cone segment, and the primary-output operand table.
+func (ic *IncrementalComparer) compile(bi int, impl *logic.Circuit, sc *icScratch) {
+	c := ic.eval.ref
+	b := &ic.blocks[bi]
+
+	// Segment 1: the candidate implementation. Its inputs are upstream of
+	// the block and therefore always read the committed cache.
+	inOps := make([]int32, len(b.Inputs))
+	for i, in := range b.Inputs {
+		inOps[i] = sc.operand(in, &sc.implFrontier)
+	}
+	var outOps []int32
+	sc.implOps, outOps = sc.compileImpl(sc.implOps, impl, inOps, &sc.implFrontier)
+	// Stage outputs in contiguous slots (a Buf per output) so the runner can
+	// compare them against the cache without an operand indirection.
+	for j, o := range outOps {
+		dst := int32(sc.nSlots)
+		sc.nSlots++
+		sc.implOps = append(sc.implOps, progOp{op: logic.Buf, dst: dst, a: o})
+		sc.outSlots = append(sc.outSlots, dst)
+		sc.blockOuts = append(sc.blockOuts, b.Outputs[j])
+		sc.markDirty(b.Outputs[j])
+	}
+
+	// Segment 2: the transitive fanout cone, region by region. Consecutive
+	// accurate gates merge into one unconditional unit; each committed
+	// region becomes a conditional unit that is skipped per batch when the
+	// wave has not reached its boundary inputs.
+	gateUnit := -1
+	for rj := bi + 1; rj < len(ic.blocks); rj++ {
+		rb := &ic.blocks[rj]
+		if rimpl := ic.impls[rj]; rimpl != nil {
+			// Approximated downstream block: re-simulate the whole
+			// implementation when any boundary input is dirty.
+			var checkIns []logic.NodeID
+			for _, in := range rb.Inputs {
+				if sc.dirty[in] {
+					checkIns = append(checkIns, in)
+				}
+			}
+			if checkIns == nil {
+				continue
+			}
+			rIn := make([]int32, len(rb.Inputs))
+			for i, in := range rb.Inputs {
+				rIn[i] = sc.operand(in, &sc.coneFrontier)
+			}
+			ui := sc.pushUnit()
+			ops, rOut := sc.compileImpl(sc.cone[ui].ops, rimpl, rIn, &sc.coneFrontier)
+			for j, o := range rOut {
+				ops = append(ops, progOp{op: logic.Buf, dst: int32(rb.Outputs[j]), a: o})
+				sc.markDirty(rb.Outputs[j])
+			}
+			sc.cone[ui].ops = ops
+			sc.cone[ui].checkIns = checkIns
+			sc.cone[ui].outNodes = rb.Outputs
+			gateUnit = -1
+		} else {
+			// Accurate downstream block: propagate dirtiness gate by gate.
+			for _, g := range rb.Gates {
+				n := &c.Nodes[g]
+				fan := n.Fanins()
+				affected := false
+				for _, f := range fan {
+					if sc.dirty[f] {
+						affected = true
+						break
+					}
+				}
+				if !affected {
+					continue
+				}
+				op := progOp{op: n.Op, dst: int32(g)}
+				if len(fan) > 0 {
+					op.a = sc.operand(fan[0], &sc.coneFrontier)
+				}
+				if len(fan) > 1 {
+					op.b = sc.operand(fan[1], &sc.coneFrontier)
+				}
+				if len(fan) > 2 {
+					op.c = sc.operand(fan[2], &sc.coneFrontier)
+				}
+				if gateUnit < 0 {
+					gateUnit = sc.pushUnit()
+				}
+				sc.cone[gateUnit].ops = append(sc.cone[gateUnit].ops, op)
+				sc.markDirty(g)
+			}
+		}
+	}
+
+	// Output assembly reads slots uniformly: stage every output node the
+	// cone does not recompute.
+	for _, o := range c.Outputs {
+		sc.outSrc = append(sc.outSrc, sc.operand(o, &sc.coneFrontier))
+	}
+	if len(sc.slots) < sc.nSlots {
+		sc.slots = make([]uint64, sc.nSlots+sc.nSlots/2)
+	}
+}
+
+// execOps runs one compiled segment for a batch over the slot array.
+func execOps(ops []progOp, w []uint64) {
+	for i := range ops {
+		op := &ops[i]
+		var v uint64
+		switch op.op {
+		case logic.Buf:
+			v = w[op.a]
+		case logic.Not:
+			v = ^w[op.a]
+		case logic.And:
+			v = w[op.a] & w[op.b]
+		case logic.Or:
+			v = w[op.a] | w[op.b]
+		case logic.Xor:
+			v = w[op.a] ^ w[op.b]
+		case logic.Nand:
+			v = ^(w[op.a] & w[op.b])
+		case logic.Nor:
+			v = ^(w[op.a] | w[op.b])
+		case logic.Xnor:
+			v = ^(w[op.a] ^ w[op.b])
+		case logic.Mux:
+			sel := w[op.a]
+			v = (sel & w[op.c]) | (^sel & w[op.b])
+		default:
+			v = op.op.Eval(w[op.a], w[op.b], w[op.c])
+		}
+		w[op.dst] = v
+	}
+}
+
+// runBatch executes the candidate program for one batch. It returns true
+// when the block's outputs match the committed cache (the cone and metric
+// can be skipped for this batch).
+func (sc *icScratch) runBatch(base []uint64) (clean bool) {
+	w := sc.slots
+	for _, n := range sc.implFrontier {
+		w[n] = base[n]
+	}
+	execOps(sc.implOps, w)
+	clean = true
+	for j, s := range sc.outSlots {
+		if w[s] != base[sc.blockOuts[j]] {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return true
+	}
+	for j, s := range sc.outSlots {
+		w[sc.blockOuts[j]] = w[s]
+	}
+	for _, n := range sc.coneFrontier {
+		w[n] = base[n]
+	}
+	for ui := range sc.cone {
+		u := &sc.cone[ui]
+		if u.checkIns != nil {
+			hit := false
+			for _, in := range u.checkIns {
+				if w[in] != base[in] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				// The wave bypassed this committed region: its outputs keep
+				// their cached values.
+				for _, o := range u.outNodes {
+					w[o] = base[o]
+				}
+				continue
+			}
+		}
+		execOps(u.ops, w)
+	}
+	return false
+}
+
+// checkCandidate validates a (block, implementation) pair.
+func (ic *IncrementalComparer) checkCandidate(bi int, impl *logic.Circuit) error {
+	if bi < 0 || bi >= len(ic.blocks) {
+		return fmt.Errorf("qor: incremental: block index %d out of range [0, %d)", bi, len(ic.blocks))
+	}
+	if impl == nil {
+		return fmt.Errorf("qor: incremental: block %d: nil implementation", bi)
+	}
+	b := &ic.blocks[bi]
+	if len(impl.Inputs) != len(b.Inputs) || len(impl.Outputs) != len(b.Outputs) {
+		return fmt.Errorf("qor: incremental: block %d: impl I/O %d/%d, block %d/%d",
+			bi, len(impl.Inputs), len(impl.Outputs), len(b.Inputs), len(b.Outputs))
+	}
+	return nil
+}
+
+// reachesOutput reports whether the compiled cone touches a primary output.
+func (ic *IncrementalComparer) reachesOutput(sc *icScratch) bool {
+	for _, o := range ic.eval.ref.Outputs {
+		if sc.dirty[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareCandidate evaluates substituting impl into block bi on top of the
+// committed state, without committing. The returned report is bit-identical
+// to rebuilding the substituted circuit and evaluating it with
+// Evaluator.Compare on the same sample stream.
+func (ic *IncrementalComparer) CompareCandidate(bi int, impl *logic.Circuit) (Report, error) {
+	if err := ic.checkCandidate(bi, impl); err != nil {
+		return Report{}, err
+	}
+	sc := ic.getScratch()
+	defer ic.putScratch(sc)
+	ic.compile(bi, impl, sc)
+	e := ic.eval
+	if !ic.reachesOutput(sc) {
+		// The cone never reaches a primary output: the candidate's outputs
+		// are the committed circuit's outputs.
+		return ic.committedRep, nil
+	}
+
+	sc.acc.reset(&e.spec)
+	out := sc.out[:len(e.ref.Outputs)]
+	for b := 0; b < e.nBatches; b++ {
+		base := ic.base[b]
+		if sc.runBatch(base) {
+			// Block outputs match the committed state: the batch's metrics
+			// are exactly the cached committed partial.
+			sc.acc.fold(&ic.stats[b])
+			continue
+		}
+		w := sc.slots
+		for i, src := range sc.outSrc {
+			out[i] = w[src]
+		}
+		mask := ^uint64(0)
+		if b == e.nBatches-1 {
+			mask = e.lastMask
+		}
+		sc.acc.addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
+	}
+	return sc.acc.report(e.samples, e.exhaustive), nil
+}
+
+// Commit substitutes impl into block bi permanently: the committed node-word
+// cache is updated along the dirty cone, and subsequent candidates are
+// evaluated on top of the new state. Returns the committed circuit's report.
+func (ic *IncrementalComparer) Commit(bi int, impl *logic.Circuit) (Report, error) {
+	if err := ic.checkCandidate(bi, impl); err != nil {
+		return Report{}, err
+	}
+	sc := ic.getScratch()
+	defer ic.putScratch(sc)
+	ic.compile(bi, impl, sc)
+	for b := 0; b < ic.eval.nBatches; b++ {
+		base := ic.base[b]
+		if sc.runBatch(base) {
+			continue // batch unaffected; cache already correct
+		}
+		// Fold every recomputed node into the cache. dirtyList holds the
+		// statically-written reference nodes, all of which the program
+		// computed for this batch.
+		w := sc.slots
+		for _, n := range sc.dirtyList {
+			base[n] = w[n]
+		}
+	}
+	ic.impls[bi] = impl
+	ic.committedRep = ic.reportFromBase()
+	return ic.committedRep, nil
+}
+
+// reportFromBase scores the committed cache's primary outputs against the
+// reference outputs, refreshing the per-batch partial cache along the way.
+func (ic *IncrementalComparer) reportFromBase() Report {
+	e := ic.eval
+	var acc reportAccum
+	acc.reset(&e.spec)
+	out := make([]uint64, len(e.ref.Outputs))
+	for b := 0; b < e.nBatches; b++ {
+		base := ic.base[b]
+		for i, o := range e.ref.Outputs {
+			out[i] = base[o]
+		}
+		mask := ^uint64(0)
+		if b == e.nBatches-1 {
+			mask = e.lastMask
+		}
+		computeBatchStats(&e.spec, out, e.refOut[b], mask, &ic.stats[b], e.refLanes, b)
+		acc.fold(&ic.stats[b])
+	}
+	return acc.report(e.samples, e.exhaustive)
+}
+
+// PlanStats instruments one candidate evaluation for benchmarking and
+// observability: the compiled op count, the number of batches whose change
+// wave died at the block boundary (evaluated for free from cached partials),
+// and the number of batches that re-simulated the cone.
+func (ic *IncrementalComparer) PlanStats(bi int, impl *logic.Circuit) (ops, cleanBatches, coneBatches int) {
+	sc := ic.getScratch()
+	defer ic.putScratch(sc)
+	ic.compile(bi, impl, sc)
+	ops = len(sc.implOps)
+	for ui := range sc.cone {
+		ops += len(sc.cone[ui].ops)
+	}
+	for b := 0; b < ic.eval.nBatches; b++ {
+		if sc.runBatch(ic.base[b]) {
+			cleanBatches++
+		} else {
+			coneBatches++
+		}
+	}
+	return
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync"
 
 	"github.com/blasys-go/blasys/internal/logic"
 )
@@ -148,6 +149,12 @@ type Evaluator struct {
 	nBatches   int
 	lastMask   uint64 // valid-sample mask of the final batch
 	exhaustive bool
+	refLanes   *refLanes // cached per-lane reference decodes
+
+	// simPool recycles simulators (really: their node-word buffers) across
+	// Compare calls, so the exploration inner loop does not allocate one
+	// buffer per candidate circuit.
+	simPool sync.Pool
 }
 
 // NewEvaluator prepares an evaluator with the given Monte-Carlo sample count
@@ -203,17 +210,76 @@ func NewEvaluator(ref *logic.Circuit, spec OutputSpec, samples int, seed int64) 
 		e.refOut[b] = append([]uint64(nil), out...)
 	}
 	e.exhaustive = exhaustive
+	e.refLanes = buildRefLanes(&e.spec, e.refOut)
 	return e, nil
+}
+
+// refLanes caches, for every (batch, group, sample lane), the reference
+// value decoded three ways: the raw group integer, the (sign-adjusted)
+// float, and the relative-error denominator max(|value|, 1). The metric
+// inner loop re-derives these for every mismatching lane of every candidate;
+// the reference stream is fixed per evaluator, so one decode pass at
+// construction removes half the decode work — and the cached integer lets
+// the candidate's value be reconstructed by flipping only the differing bits
+// instead of gathering the whole group.
+type refLanes struct {
+	vals [][]uint64  // [batch][gi*64+lane] raw group integer
+	dec  [][]float64 // decoded float value
+	den  [][]float64 // max(|dec|, 1)
+}
+
+func buildRefLanes(spec *OutputSpec, refOut [][]uint64) *refLanes {
+	nGroups := len(spec.Groups)
+	rc := &refLanes{
+		vals: make([][]uint64, len(refOut)),
+		dec:  make([][]float64, len(refOut)),
+		den:  make([][]float64, len(refOut)),
+	}
+	for b := range refOut {
+		vals := make([]uint64, nGroups*64)
+		dec := make([]float64, nGroups*64)
+		den := make([]float64, nGroups*64)
+		for gi := range spec.Groups {
+			g := &spec.Groups[gi]
+			for lane := uint(0); lane < 64; lane++ {
+				v := decodeInt(refOut[b], g, lane)
+				f := groupFloat(g, v)
+				idx := gi*64 + int(lane)
+				vals[idx] = v
+				dec[idx] = f
+				den[idx] = math.Max(math.Abs(f), 1)
+			}
+		}
+		rc.vals[b], rc.dec[b], rc.den[b] = vals, dec, den
+	}
+	return rc
 }
 
 // Samples returns the effective sample count.
 func (e *Evaluator) Samples() int { return e.samples }
+
+// InputWords returns the input words of batch b (one word per primary
+// input). The slice aliases internal state; do not modify it.
+func (e *Evaluator) InputWords(b int) []uint64 { return e.inWords[b] }
+
+// ReferenceWords returns the reference output words of batch b (one word per
+// primary output). The slice aliases internal state; do not modify it.
+func (e *Evaluator) ReferenceWords(b int) []uint64 { return e.refOut[b] }
 
 // Reference returns the accurate circuit.
 func (e *Evaluator) Reference() *logic.Circuit { return e.ref }
 
 // Spec returns the output interpretation.
 func (e *Evaluator) Spec() OutputSpec { return e.spec }
+
+// compareScratch bundles the per-Compare working state recycled through
+// Evaluator.simPool: a simulator whose node-word buffer is rebound to each
+// candidate circuit, the output word buffer, and the metric accumulator.
+type compareScratch struct {
+	sim *logic.Simulator
+	out []uint64
+	acc reportAccum
+}
 
 // Compare evaluates the approximate circuit. It must have the same input and
 // output counts as the reference.
@@ -222,67 +288,200 @@ func (e *Evaluator) Compare(approx *logic.Circuit) (Report, error) {
 		return Report{}, fmt.Errorf("qor: approximate circuit I/O %d/%d, reference %d/%d",
 			len(approx.Inputs), len(approx.Outputs), len(e.ref.Inputs), len(e.ref.Outputs))
 	}
-	sim := logic.NewSimulator(approx)
-	out := make([]uint64, len(approx.Outputs))
-
-	rep := Report{Samples: e.samples, Exact: e.exhaustive}
-	nGroups := len(e.spec.Groups)
-	sumRel := make([]float64, nGroups)
-	sumAbs := make([]float64, nGroups)
-	sumSq := make([]float64, nGroups)
-	var hamming int64
-	var errSamples int64
+	sc, _ := e.simPool.Get().(*compareScratch)
+	if sc == nil {
+		sc = &compareScratch{sim: logic.NewSimulator(approx)}
+	} else {
+		sc.sim.Reset(approx)
+	}
+	if cap(sc.out) < len(approx.Outputs) {
+		sc.out = make([]uint64, len(approx.Outputs))
+	}
+	out := sc.out[:len(approx.Outputs)]
+	sc.acc.reset(&e.spec)
 
 	for b := 0; b < e.nBatches; b++ {
-		sim.Run(e.inWords[b], out)
-		refOut := e.refOut[b]
+		sc.sim.Run(e.inWords[b], out)
 		mask := ^uint64(0)
 		if b == e.nBatches-1 {
 			mask = e.lastMask
 		}
-		var anyDiff uint64
-		for o := range out {
-			d := (out[o] ^ refOut[o]) & mask
-			hamming += int64(bits.OnesCount64(d))
-			anyDiff |= d
-		}
-		errSamples += int64(bits.OnesCount64(anyDiff))
-		if anyDiff == 0 {
-			continue // bit-exact batch: no numeric error either
-		}
-		for gi := range e.spec.Groups {
-			g := &e.spec.Groups[gi]
-			// Only decode lanes with some mismatch in this group's bits.
-			var groupDiff uint64
-			for _, bit := range g.Bits {
-				groupDiff |= (out[bit] ^ refOut[bit]) & mask
+		sc.acc.addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
+	}
+	rep := sc.acc.report(e.samples, e.exhaustive)
+	e.simPool.Put(sc)
+	return rep, nil
+}
+
+// batchStats is one 64-sample batch's contribution to a report: per-group
+// error sums plus bit/sample mismatch counts and worst-case trackers.
+//
+// Accumulation is deliberately hierarchical — per-batch partials folded into
+// running totals — so that a cached partial for an unchanged batch folds to
+// exactly the same floating-point result as recomputing the batch. The
+// incremental comparer relies on this to skip the decode loop for batches
+// whose outputs match the committed circuit.
+type batchStats struct {
+	sumRel     []float64
+	sumAbs     []float64
+	sumSq      []float64
+	hamming    int64
+	errSamples int64
+	worstRel   float64
+	worstAbs   float64
+	// diffJ/diffD are scratch for the mismatching group bits of the batch
+	// being computed (bit position within the group, and its 64-lane diff).
+	diffJ []uint
+	diffD []uint64
+}
+
+// reset zeroes the partial for nGroups output groups.
+func (p *batchStats) reset(nGroups int) {
+	if cap(p.sumRel) < nGroups {
+		p.sumRel = make([]float64, nGroups)
+		p.sumAbs = make([]float64, nGroups)
+		p.sumSq = make([]float64, nGroups)
+	}
+	p.sumRel = p.sumRel[:nGroups]
+	p.sumAbs = p.sumAbs[:nGroups]
+	p.sumSq = p.sumSq[:nGroups]
+	for i := 0; i < nGroups; i++ {
+		p.sumRel[i], p.sumAbs[i], p.sumSq[i] = 0, 0, 0
+	}
+	p.hamming, p.errSamples = 0, 0
+	p.worstRel, p.worstAbs = 0, 0
+}
+
+// computeBatchStats fills p with the batch's statistics. mask selects the
+// valid sample lanes (all ones except possibly the final batch). When rc is
+// non-nil it must be the reference-decode cache built over the same refOut
+// stream, with batch the batch index; the cached path produces bit-identical
+// results to the direct path (same integers, same float operations) while
+// skipping the per-lane reference gather.
+func computeBatchStats(spec *OutputSpec, out, refOut []uint64, mask uint64, p *batchStats, rc *refLanes, batch int) {
+	p.reset(len(spec.Groups))
+	var anyDiff uint64
+	for o := range out {
+		d := (out[o] ^ refOut[o]) & mask
+		p.hamming += int64(bits.OnesCount64(d))
+		anyDiff |= d
+	}
+	p.errSamples += int64(bits.OnesCount64(anyDiff))
+	if anyDiff == 0 {
+		return // bit-exact batch: no numeric error either
+	}
+	for gi := range spec.Groups {
+		g := &spec.Groups[gi]
+		// Collect the group bits that mismatch anywhere in the batch —
+		// typically a handful — and their diff words.
+		p.diffJ = p.diffJ[:0]
+		p.diffD = p.diffD[:0]
+		var groupDiff uint64
+		for j, bit := range g.Bits {
+			if d := (out[bit] ^ refOut[bit]) & mask; d != 0 {
+				p.diffJ = append(p.diffJ, uint(j))
+				p.diffD = append(p.diffD, d)
+				groupDiff |= d
 			}
-			for lanes := groupDiff; lanes != 0; lanes &= lanes - 1 {
-				lane := uint(bits.TrailingZeros64(lanes))
-				rv := decode(refOut, g, lane)
-				av := decode(out, g, lane)
-				abs := math.Abs(av - rv)
-				rel := abs / math.Max(math.Abs(rv), 1)
-				sumAbs[gi] += abs
-				sumSq[gi] += abs * abs
-				sumRel[gi] += rel
-				if rel > rep.WorstRel {
-					rep.WorstRel = rel
+		}
+		for lanes := groupDiff; lanes != 0; lanes &= lanes - 1 {
+			lane := uint(bits.TrailingZeros64(lanes))
+			var rv, den float64
+			var rvInt uint64
+			if rc != nil {
+				idx := gi*64 + int(lane)
+				rvInt = rc.vals[batch][idx]
+				rv = rc.dec[batch][idx]
+				den = rc.den[batch][idx]
+			} else {
+				rvInt = decodeInt(refOut, g, lane)
+				rv = groupFloat(g, rvInt)
+				den = math.Max(math.Abs(rv), 1)
+			}
+			// The candidate's group value is the reference with only the
+			// differing bits flipped.
+			avInt := rvInt
+			for di, j := range p.diffJ {
+				if p.diffD[di]>>lane&1 != 0 {
+					avInt ^= 1 << j
 				}
-				if abs > rep.WorstAbs {
-					rep.WorstAbs = abs
-				}
+			}
+			av := groupFloat(g, avInt)
+			abs := math.Abs(av - rv)
+			rel := abs / den
+			p.sumAbs[gi] += abs
+			p.sumSq[gi] += abs * abs
+			p.sumRel[gi] += rel
+			if rel > p.worstRel {
+				p.worstRel = rel
+			}
+			if abs > p.worstAbs {
+				p.worstAbs = abs
 			}
 		}
 	}
+}
 
-	n := float64(e.samples)
-	for gi := range e.spec.Groups {
-		g := &e.spec.Groups[gi]
-		rep.AvgRel += sumRel[gi] / n
-		rep.AvgAbs += sumAbs[gi] / n
-		rep.NormAvgAbs += sumAbs[gi] / n / g.MaxValue()
-		rep.MeanSquared += sumSq[gi] / n
+// reportAccum accumulates per-batch statistics into a Report. Both evaluator
+// kinds and the incremental comparer share it, so every evaluation path
+// computes metrics with identical code and identical floating-point
+// association — the foundation of the bit-identical guarantee between the
+// full-rebuild and incremental paths.
+type reportAccum struct {
+	spec    *OutputSpec
+	totals  batchStats
+	scratch batchStats
+}
+
+// reset prepares the accumulator for a fresh comparison.
+func (a *reportAccum) reset(spec *OutputSpec) {
+	a.spec = spec
+	a.totals.reset(len(spec.Groups))
+}
+
+// fold adds one batch's partial into the running totals.
+func (a *reportAccum) fold(p *batchStats) {
+	t := &a.totals
+	for gi := range t.sumRel {
+		t.sumRel[gi] += p.sumRel[gi]
+		t.sumAbs[gi] += p.sumAbs[gi]
+		t.sumSq[gi] += p.sumSq[gi]
+	}
+	t.hamming += p.hamming
+	t.errSamples += p.errSamples
+	if p.worstRel > t.worstRel {
+		t.worstRel = p.worstRel
+	}
+	if p.worstAbs > t.worstAbs {
+		t.worstAbs = p.worstAbs
+	}
+}
+
+// addBatch computes one batch's statistics and folds them in.
+func (a *reportAccum) addBatch(out, refOut []uint64, mask uint64) {
+	computeBatchStats(a.spec, out, refOut, mask, &a.scratch, nil, 0)
+	a.fold(&a.scratch)
+}
+
+// addBatchRef is addBatch with the reference-decode cache for batch b.
+func (a *reportAccum) addBatchRef(out, refOut []uint64, mask uint64, rc *refLanes, b int) {
+	computeBatchStats(a.spec, out, refOut, mask, &a.scratch, rc, b)
+	a.fold(&a.scratch)
+}
+
+// report finalizes the accumulated statistics into a Report over the given
+// sample count.
+func (a *reportAccum) report(samples int, exact bool) Report {
+	t := &a.totals
+	rep := Report{Samples: samples, Exact: exact, WorstRel: t.worstRel, WorstAbs: t.worstAbs}
+	n := float64(samples)
+	nGroups := len(a.spec.Groups)
+	for gi := range a.spec.Groups {
+		g := &a.spec.Groups[gi]
+		rep.AvgRel += t.sumRel[gi] / n
+		rep.AvgAbs += t.sumAbs[gi] / n
+		rep.NormAvgAbs += t.sumAbs[gi] / n / g.MaxValue()
+		rep.MeanSquared += t.sumSq[gi] / n
 	}
 	if nGroups > 0 {
 		rep.AvgRel /= float64(nGroups)
@@ -290,17 +489,23 @@ func (e *Evaluator) Compare(approx *logic.Circuit) (Report, error) {
 		rep.NormAvgAbs /= float64(nGroups)
 		rep.MeanSquared /= float64(nGroups)
 	}
-	rep.MeanHam = float64(hamming) / n
-	rep.ErrRate = float64(errSamples) / n
-	return rep, nil
+	rep.MeanHam = float64(t.hamming) / n
+	rep.ErrRate = float64(t.errSamples) / n
+	return rep
 }
 
-// decode extracts the group's numeric value for one sample lane.
-func decode(out []uint64, g *Group, lane uint) float64 {
+// decodeInt gathers the group's raw integer value for one sample lane.
+func decodeInt(out []uint64, g *Group, lane uint) uint64 {
 	var v uint64
 	for j, bit := range g.Bits {
 		v |= ((out[bit] >> lane) & 1) << uint(j)
 	}
+	return v
+}
+
+// groupFloat converts a raw group integer to its numeric value, applying
+// two's-complement interpretation for signed groups.
+func groupFloat(g *Group, v uint64) float64 {
 	if g.Signed {
 		n := uint(len(g.Bits))
 		if v&(1<<(n-1)) != 0 {
@@ -308,4 +513,9 @@ func decode(out []uint64, g *Group, lane uint) float64 {
 		}
 	}
 	return float64(v)
+}
+
+// decode extracts the group's numeric value for one sample lane.
+func decode(out []uint64, g *Group, lane uint) float64 {
+	return groupFloat(g, decodeInt(out, g, lane))
 }

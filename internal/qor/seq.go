@@ -2,8 +2,6 @@ package qor
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"math/rand"
 
 	"github.com/blasys-go/blasys/internal/logic"
@@ -143,12 +141,8 @@ func (e *SequentialEvaluator) Compare(approx *logic.Circuit) (Report, error) {
 	state := make([]uint64, len(approx.Inputs))
 	run := make([]uint64, len(approx.Inputs))
 
-	rep := Report{Samples: e.Samples()}
-	nGroups := len(e.spec.Groups)
-	sumRel := make([]float64, nGroups)
-	sumAbs := make([]float64, nGroups)
-	sumSq := make([]float64, nGroups)
-	var hamming, errSamples int64
+	var acc reportAccum
+	acc.reset(&e.spec)
 
 	for b := 0; b < e.chains; b++ {
 		for i := range state {
@@ -165,60 +159,10 @@ func (e *SequentialEvaluator) Compare(approx *logic.Circuit) (Report, error) {
 			for _, fbp := range e.seq.Feedback {
 				state[fbp[1]] = out[fbp[0]]
 			}
-			refOut := e.refOut[b][t]
-			var anyDiff uint64
-			for o := range out {
-				d := out[o] ^ refOut[o]
-				hamming += int64(bits.OnesCount64(d))
-				anyDiff |= d
-			}
-			errSamples += int64(bits.OnesCount64(anyDiff))
-			if anyDiff == 0 {
-				continue
-			}
-			for gi := range e.spec.Groups {
-				g := &e.spec.Groups[gi]
-				var groupDiff uint64
-				for _, bit := range g.Bits {
-					groupDiff |= out[bit] ^ refOut[bit]
-				}
-				for lanes := groupDiff; lanes != 0; lanes &= lanes - 1 {
-					lane := uint(bits.TrailingZeros64(lanes))
-					rv := decode(refOut, g, lane)
-					av := decode(out, g, lane)
-					abs := math.Abs(av - rv)
-					rel := abs / math.Max(math.Abs(rv), 1)
-					sumAbs[gi] += abs
-					sumSq[gi] += abs * abs
-					sumRel[gi] += rel
-					if rel > rep.WorstRel {
-						rep.WorstRel = rel
-					}
-					if abs > rep.WorstAbs {
-						rep.WorstAbs = abs
-					}
-				}
-			}
+			acc.addBatch(out, e.refOut[b][t], ^uint64(0))
 		}
 	}
-
-	n := float64(e.Samples())
-	for gi := range e.spec.Groups {
-		g := &e.spec.Groups[gi]
-		rep.AvgRel += sumRel[gi] / n
-		rep.AvgAbs += sumAbs[gi] / n
-		rep.NormAvgAbs += sumAbs[gi] / n / g.MaxValue()
-		rep.MeanSquared += sumSq[gi] / n
-	}
-	if nGroups > 0 {
-		rep.AvgRel /= float64(nGroups)
-		rep.AvgAbs /= float64(nGroups)
-		rep.NormAvgAbs /= float64(nGroups)
-		rep.MeanSquared /= float64(nGroups)
-	}
-	rep.MeanHam = float64(hamming) / n
-	rep.ErrRate = float64(errSamples) / n
-	return rep, nil
+	return acc.report(e.Samples(), false), nil
 }
 
 // Comparer abstracts the two evaluator kinds so the exploration loop and the

@@ -1,0 +1,67 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// seqWeightSum is the reference per-bit weighted popcount.
+func seqWeightSum(w uint64, weights []float64) float64 {
+	s := 0.0
+	for j := 0; j < len(weights); j++ {
+		if w&(1<<uint(j)) != 0 {
+			s += weights[j]
+		}
+	}
+	return s
+}
+
+func TestWeightTableSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 8, 9, 16, 33, 64} {
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(8)) // integer weights: exact sums
+		}
+		wt := NewWeightTable(weights)
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = (uint64(1) << uint(n)) - 1
+		}
+		for trial := 0; trial < 200; trial++ {
+			w := rng.Uint64() & mask
+			if got, want := wt.Sum(w), seqWeightSum(w, weights); got != want {
+				t.Fatalf("n=%d w=%#x: Sum = %v, want %v", n, w, got, want)
+			}
+		}
+		if wt.Sum(0) != 0 {
+			t.Fatalf("n=%d: Sum(0) != 0", n)
+		}
+	}
+}
+
+func TestWeightTableWeightedHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(20)
+		a := randomMatrix(rng, rows, cols)
+		b := randomMatrix(rng, rows, cols)
+		weights := make([]float64, cols)
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(5))
+		}
+		wt := NewWeightTable(weights)
+		if got, want := wt.WeightedHamming(a, b), WeightedHamming(a, b, weights); got != want {
+			t.Fatalf("rows=%d cols=%d: table %v, sequential %v", rows, cols, got, want)
+		}
+	}
+}
+
+func TestWeightTableTooManyWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 65 weights")
+		}
+	}()
+	NewWeightTable(make([]float64, 65))
+}

@@ -2,13 +2,17 @@
 # bench.sh — run the benchmark suite and record the perf trajectory.
 #
 # Runs the root-package paper-reproduction benchmarks (Tables 1-3, Figures
-# 3-5, ablations, engine speedup) plus the internal/engine service
-# benchmarks, and writes the root suite's headline metrics to
-# BENCH_<date>.json in the repo root via the -benchjson test flag.
+# 3-5, ablations, engine speedup) plus the hot-loop microbenchmarks
+# (BenchmarkFactorize / BenchmarkCompare / BenchmarkExplore, which record
+# candidate-evals/sec, explore-steps/sec, allocs/op, and the incremental
+# engine's speedups over the pre-PR full-rebuild path) and the
+# internal/engine service benchmarks. The root suite's headline metrics are
+# written to BENCH_<date>.json in the repo root via the -benchjson test flag;
+# -benchmem adds allocation figures to the textual output.
 #
 # Usage:
 #   scripts/bench.sh                  # full suite, BENCH_$(date +%F).json
-#   scripts/bench.sh EngineSpeedup    # only benchmarks matching the pattern
+#   scripts/bench.sh 'Compare|Explore'  # only benchmarks matching the pattern
 #   OUT=custom.json scripts/bench.sh  # override the output file
 set -eu
 
@@ -18,9 +22,9 @@ PATTERN="${1:-.}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 echo "== root benchmarks (pattern: $PATTERN) -> $OUT"
-go test . -run '^$' -bench "$PATTERN" -benchtime 1x -timeout 60m -benchjson "$OUT"
+go test . -run '^$' -bench "$PATTERN" -benchtime 1x -benchmem -timeout 60m -benchjson "$OUT"
 
 echo "== engine service benchmarks"
-go test ./internal/engine -run '^$' -bench . -benchtime 1x -timeout 30m
+go test ./internal/engine -run '^$' -bench . -benchtime 1x -benchmem -timeout 30m
 
 echo "== wrote $OUT"
