@@ -21,6 +21,13 @@ import (
 var benchJSONPath = flag.String("benchjson", "",
 	"write every metric reported via reportMetric as JSON to this file")
 
+// benchWorkers sets the worker count of the multi-worker candidate-sweep leg
+// of BenchmarkExplore (0 = NumCPU, floored at 2 so the sharded code path is
+// exercised even on single-CPU machines). scripts/bench.sh passes it through
+// as -workers.
+var benchWorkers = flag.Int("workers", 0,
+	"candidate-sweep workers for the parallel explore benchmark leg (0 = NumCPU, min 2)")
+
 type benchMetric struct {
 	Bench string  `json:"bench"`
 	Unit  string  `json:"unit"`

@@ -276,8 +276,20 @@ func BenchmarkCompare(b *testing.B) {
 // BenchmarkExplore measures the end-to-end Approximate wall-clock — profiling
 // plus exploration — with the incremental engine against the pre-PR
 // full-rebuild path (Config.DisableIncremental), reporting explore-steps/sec
-// and the overall speedup for each circuit.
+// and the overall speedup for each circuit. A third leg runs the candidate
+// sweep on multiple worker shards (Workers > 1, count from -workers) against
+// the serial sweep (Workers = 1), records the parallel-sweep speedup, and
+// fails if the parallel trajectory diverges from the serial one — the
+// speedup row is only meaningful on machines with >= 2 CPUs, but the ratio
+// is recorded either way.
 func BenchmarkExplore(b *testing.B) {
+	workers := *benchWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 2 {
+		workers = 2
+	}
 	for _, name := range []string{"Mult8", "Adder32", "BUT", "FIR", "MAC", "SAD"} {
 		bm, err := bench.ByName(name)
 		if err != nil {
@@ -288,31 +300,48 @@ func BenchmarkExplore(b *testing.B) {
 				Samples: 1 << 13, Seed: benchSeed,
 				ExploreFully: true, MaxSteps: 12,
 			}
-			run := func(disable bool) (time.Duration, int) {
+			run := func(disable bool, workers int) (time.Duration, *core.Result) {
 				c := cfg
 				c.DisableIncremental = disable
+				c.Workers = workers
 				start := time.Now()
 				res, err := core.Approximate(bm.Circ, bm.Spec, c)
 				if err != nil {
 					b.Fatal(err)
 				}
-				return time.Since(start), len(res.Steps)
+				return time.Since(start), res
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				fullDur, fullSteps := run(true)
-				incDur, incSteps := run(false)
+				fullDur, fullRes := run(true, 0)
+				incDur, incRes := run(false, 1)
+				parDur, parRes := run(false, workers)
 				if i == 0 {
+					fullSteps, incSteps := len(fullRes.Steps), len(incRes.Steps)
 					if fullSteps != incSteps {
 						b.Fatalf("step count diverged: full %d, incremental %d", fullSteps, incSteps)
 					}
+					if len(parRes.Steps) != incSteps {
+						b.Fatalf("step count diverged: Workers=1 %d, Workers=%d %d",
+							incSteps, workers, len(parRes.Steps))
+					}
+					for s := range incRes.Steps {
+						if incRes.Steps[s] != parRes.Steps[s] {
+							b.Fatalf("step %d diverged between Workers=1 and Workers=%d", s, workers)
+						}
+					}
 					fullRate := float64(fullSteps) / fullDur.Seconds()
 					incRate := float64(incSteps) / incDur.Seconds()
-					b.Logf("Explore | %-8s | %d steps | full %v (%.2f steps/s) | incremental %v (%.2f steps/s) | %.1fx",
-						name, incSteps, fullDur, fullRate, incDur, incRate, float64(fullDur)/float64(incDur))
+					parRate := float64(len(parRes.Steps)) / parDur.Seconds()
+					b.Logf("Explore | %-8s | %d steps | full %v (%.2f steps/s) | incremental %v (%.2f steps/s) | %.1fx | %d-worker sweep %v (%.2f steps/s, %.2fx, %d frontier pts)",
+						name, incSteps, fullDur, fullRate, incDur, incRate, float64(fullDur)/float64(incDur),
+						workers, parDur, parRate, float64(incDur)/float64(parDur), incRes.Frontier.Size())
 					reportMetric(b, incRate, "explore-steps/sec")
 					reportMetric(b, fullRate, "full-explore-steps/sec")
 					reportMetric(b, float64(fullDur)/float64(incDur), "explore-speedup-x")
+					reportMetric(b, parRate, "parallel-explore-steps/sec")
+					reportMetric(b, float64(incDur)/float64(parDur), "parallel-sweep-speedup-x")
+					reportMetric(b, float64(workers), "sweep-workers")
 				}
 			}
 		})

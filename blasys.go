@@ -32,12 +32,22 @@
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	    -d '{"benchmark": "Mult8", "config": {"threshold": 0.05}}'
 //
+// Every exploration also records the full accuracy/area trade-off frontier
+// — each evaluated (error, area) candidate plus the non-dominated set — in
+// Result.Frontier; the service exposes it per job:
+//
+//	curl -s localhost:8080/v1/jobs/$JOB/frontier | jq .front
+//	curl -s 'localhost:8080/v1/jobs/'$JOB'/frontier?format=csv&points=1'
+//
 // See cmd/blasys-serve for the full curl walkthrough (submitting BLIF,
 // polling status, downloading result.blif / result.v) and NewEngine for the
 // embeddable job engine behind it. Long-running library calls can be
 // cancelled through ApproximateContext, stream per-step progress through
 // Config.Progress, and share factorizations across runs through
-// Config.Cache (NewFactorizationCache).
+// Config.Cache (NewFactorizationCache). The per-step candidate sweep runs on
+// Config.Workers parallel shards (default GOMAXPROCS, bit-identical results
+// at any worker count); cmd/blasys exposes it as -workers and dumps the
+// frontier with -frontier.
 //
 // This package is a facade: it re-exports the library's main types and entry
 // points so downstream users need a single import. The implementation lives
@@ -81,6 +91,12 @@ type (
 	Basis = core.Basis
 	// TracePoint is one point of the accuracy/area trade-off curve.
 	TracePoint = core.TracePoint
+	// Frontier is the accuracy/area trade-off frontier recorded during
+	// exploration: every evaluated (error, area) point plus the maintained
+	// non-dominated set (Result.Frontier).
+	Frontier = core.Frontier
+	// FrontierPoint is one evaluated point of the Frontier.
+	FrontierPoint = core.FrontierPoint
 )
 
 // QoR types.

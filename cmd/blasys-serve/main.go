@@ -28,6 +28,14 @@
 //	curl -s localhost:8080/v1/jobs/$JOB/result.blif -o approx.blif
 //	curl -s localhost:8080/v1/jobs/$JOB/result.v    -o approx.v
 //
+// Every job also records the full accuracy/area trade-off frontier — each
+// candidate the exploration evaluated plus the non-dominated (Pareto) set.
+// Fetch it as JSON (front only by default, ?points=1 adds every evaluated
+// point) or as CSV:
+//
+//	curl -s localhost:8080/v1/jobs/$JOB/frontier | jq .front
+//	curl -s "localhost:8080/v1/jobs/$JOB/frontier?format=csv&points=1" -o frontier.csv
+//
 // Cancel, health, and service metrics:
 //
 //	curl -s -X POST localhost:8080/v1/jobs/$JOB/cancel

@@ -6,9 +6,11 @@
 //	blasys -bench Mult8 -threshold 0.05
 //	blasys -bench Adder32 -weighted -metric rel -trace trace.csv
 //	blasys -blif mydesign.blif -k 8 -m 8 -full
+//	blasys -bench Mult8 -full -workers 8 -frontier frontier.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,13 +53,16 @@ func main() {
 		full         = flag.Bool("full", false, "explore the full trade-off past the threshold")
 		maxSteps     = flag.Int("max-steps", 0, "cap exploration steps (0 = unlimited)")
 		lazy         = flag.Bool("lazy", false, "lazy-greedy exploration (fewer simulations, same argmin under monotone error)")
+		workers      = flag.Int("workers", 0, "candidate-sweep worker shards per exploration step (0 = GOMAXPROCS; results are identical for any value)")
 		tracePath    = flag.String("trace", "", "write the exploration trace as CSV")
+		frontierPath = flag.String("frontier", "", "write the evaluated accuracy/area frontier (suffix .json, else CSV)")
 		outPath      = flag.String("out", "", "write the chosen approximate netlist (suffix .v or .blif)")
 		verbose      = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
 	if err := run(*benchName, *blifPath, *k, *m, *threshold, *metricName, *samples,
-		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *tracePath, *outPath, *verbose); err != nil {
+		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *workers,
+		*tracePath, *frontierPath, *outPath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys:", err)
 		os.Exit(1)
 	}
@@ -65,7 +70,7 @@ func main() {
 
 func run(benchName, blifPath string, k, m int, threshold float64, metricName string,
 	samples, finalSamples int, seed int64, weighted bool, semiring string,
-	full bool, maxSteps int, lazy bool, tracePath, outPath string, verbose bool) error {
+	full bool, maxSteps int, lazy bool, workers int, tracePath, frontierPath, outPath string, verbose bool) error {
 
 	metric, ok := metricNames[metricName]
 	if !ok {
@@ -107,6 +112,7 @@ func run(benchName, blifPath string, k, m int, threshold float64, metricName str
 		K: k, M: m, Metric: metric, Threshold: threshold, Samples: samples,
 		Seed: seed, Weighted: weighted, Semiring: sr, Lib: lib,
 		ExploreFully: full, MaxSteps: maxSteps, Sequence: seq, Lazy: lazy,
+		Workers: workers,
 	}
 
 	start := time.Now()
@@ -148,6 +154,15 @@ func run(benchName, blifPath string, k, m int, threshold float64, metricName str
 		}
 		fmt.Printf("trace written to %s\n", tracePath)
 	}
+	if frontierPath != "" {
+		if err := writeFrontier(frontierPath, res); err != nil {
+			return err
+		}
+		if f := res.Frontier; f != nil {
+			fmt.Printf("frontier written to %s (%d evaluated points, %d on the front)\n",
+				frontierPath, f.Size(), len(f.Front()))
+		}
+	}
 	if outPath != "" {
 		best, err := res.BestCircuit()
 		if err != nil {
@@ -181,6 +196,31 @@ func writeTrace(path string, res *core.Result) error {
 			p.AvgRel, p.AvgAbs, p.NormAvgAbs, p.MeanHamming)
 	}
 	return nil
+}
+
+// writeFrontier dumps every evaluated (error, area) point and the
+// non-dominated set: JSON for a .json suffix, CSV otherwise (the on_front
+// column marks non-dominated rows).
+func writeFrontier(path string, res *core.Result) error {
+	fr := res.Frontier
+	if fr == nil {
+		return fmt.Errorf("no frontier recorded (exploration did not run)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Evaluated int                  `json:"evaluated"`
+			Front     []core.FrontierPoint `json:"front"`
+			Points    []core.FrontierPoint `json:"points"`
+		}{fr.Size(), fr.Front(), fr.Points()})
+	}
+	return fr.WriteCSV(f, true)
 }
 
 func writeNetlist(path string, c *logic.Circuit) error {

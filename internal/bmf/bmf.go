@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/blasys-go/blasys/internal/sched"
 	"github.com/blasys-go/blasys/internal/tt"
 )
 
@@ -96,11 +97,11 @@ type Options struct {
 // Options.TauSweep is nil.
 var DefaultTauSweep = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 
-// sweepSem is the machine-wide goroutine budget for parallel tau sweeps,
-// shared by every concurrent Factorize call so nesting under an
-// already-parallel caller (block profiling, engine workers) cannot
-// oversubscribe the CPU.
-var sweepSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+// Parallel tau sweeps draw goroutine tokens from the machine-wide budget in
+// internal/sched, shared with the explorer's candidate sweep and every other
+// concurrent Factorize call, so nesting under an already-parallel caller
+// (block profiling, engine workers, exploration) cannot oversubscribe the
+// CPU.
 
 // Result carries a factorization and its error against the input matrix.
 type Result struct {
@@ -161,22 +162,21 @@ func Factorize(M *tt.Matrix, f int, opt Options) (*Result, error) {
 	// Each tau's factorization is independent; sweep them in parallel.
 	// Selection below walks results in sweep order, so the winner is the
 	// same factorization the serial sweep finds. Tokens come from the
-	// package-global sweepSem, so concurrent Factorize callers (profiling
-	// is already parallel across blocks) share one machine-wide budget
-	// instead of multiplying goroutines; a caller that gets no token runs
-	// the tau inline.
+	// machine-wide sched budget, so concurrent Factorize callers (profiling
+	// is already parallel across blocks, exploration sweeps candidates)
+	// share one budget instead of multiplying goroutines; a caller that
+	// gets no token runs the tau inline.
 	if runtime.GOMAXPROCS(0) > 1 && len(sweep) > 1 {
 		var wg sync.WaitGroup
 		for ti := range sweep {
-			select {
-			case sweepSem <- struct{}{}:
+			if sched.TryAcquire() {
 				wg.Add(1)
 				go func(ti int) {
 					defer wg.Done()
-					defer func() { <-sweepSem }()
+					defer sched.Release()
 					runTau(ti)
 				}(ti)
-			default:
+			} else {
 				runTau(ti)
 			}
 		}

@@ -73,6 +73,15 @@ type Config struct {
 	MaxSteps int
 	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Workers bounds the explorer's per-step candidate-sweep worker pool
+	// (0 = Parallelism, whose default is GOMAXPROCS). Candidates are
+	// sharded across workers by candidate position and reduced under a
+	// fixed total order on (error, area, block index), so any worker count
+	// produces bit-identical results; extra workers draw goroutine tokens
+	// from the machine-wide budget shared with the BMF tau sweep
+	// (internal/sched) and fall back to inline execution when the machine
+	// is saturated.
+	Workers int
 	// SynthExact uses exact two-level minimization for block synthesis.
 	SynthExact bool
 	// Basis selects the factor family; see the Basis constants.
@@ -154,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.Workers <= 0 {
+		c.Workers = c.Parallelism
+	}
 	return c
 }
 
@@ -203,6 +215,11 @@ type Result struct {
 	// BestStep indexes the step chosen under the threshold (-1 if even the
 	// first step exceeded it, meaning the accurate circuit is returned).
 	BestStep int
+	// Frontier records every (error, area) point the exploration evaluated
+	// — committed steps and losing sweep candidates alike — and maintains
+	// the non-dominated accuracy/area trade-off set. Identical for every
+	// Workers count.
+	Frontier *Frontier
 }
 
 // Approximate runs the complete BLASYS flow.
@@ -256,11 +273,14 @@ func ApproximateCtx(ctx context.Context, c *logic.Circuit, spec qor.OutputSpec, 
 // (block index, next-lower degree) on top of the committed degree vector —
 // and advances the committed state when the explorer picks one.
 // evaluate may be called concurrently for different candidates; commit is
-// called serially, never concurrently with evaluate.
+// called serially, never concurrently with evaluate or shard evaluation.
 type candidateEvaluator interface {
 	// evaluate reports the whole-circuit QoR of decrementing block bi by one
 	// degree from the committed state in degrees.
 	evaluate(degrees []int, bi int) (qor.Report, error)
+	// shards returns n worker-private evaluation handles for the sharded
+	// candidate sweep. Shards stay valid across commits.
+	shards(n int) []candidateShard
 	// commit records that block bi was decremented to newDegree.
 	commit(bi, newDegree int) error
 }
@@ -302,6 +322,17 @@ func (f *fullRebuildEval) evaluate(degrees []int, bi int) (qor.Report, error) {
 
 func (f *fullRebuildEval) commit(bi, newDegree int) error { return nil }
 
+// shards shares the receiver: evaluate materializes per-call state and the
+// underlying Comparer kinds are safe for concurrent Compare, so no
+// per-worker state is needed on this path.
+func (f *fullRebuildEval) shards(n int) []candidateShard {
+	out := make([]candidateShard, n)
+	for i := range out {
+		out[i] = f
+	}
+	return out
+}
+
 // incrementalEval evaluates candidates through the cone-based incremental
 // comparer: only the substituted block implementation and its transitive
 // fanout are simulated, on top of the cached committed circuit state.
@@ -321,6 +352,26 @@ func (e *incrementalEval) evaluate(degrees []int, bi int) (qor.Report, error) {
 func (e *incrementalEval) commit(bi, newDegree int) error {
 	_, err := e.ic.Commit(bi, e.variant(bi, newDegree))
 	return err
+}
+
+// shards hands each sweep worker a private qor.Shard: candidate compilation
+// and execution state is owned outright (no pool contention), while the
+// committed baseline cache is shared read-only across all workers.
+func (e *incrementalEval) shards(n int) []candidateShard {
+	out := make([]candidateShard, n)
+	for i := range out {
+		out[i] = &incrementalShard{e: e, sh: e.ic.Shard()}
+	}
+	return out
+}
+
+type incrementalShard struct {
+	e  *incrementalEval
+	sh *qor.Shard
+}
+
+func (s *incrementalShard) evaluate(degrees []int, bi int) (qor.Report, error) {
+	return s.sh.CompareCandidate(bi, s.e.variant(bi, degrees[bi]-1))
 }
 
 // blockOutputWeights computes, per block, the column weights for weighted
@@ -494,6 +545,10 @@ func profileBlock(ctx context.Context, c *logic.Circuit, b partition.Block, colW
 
 // explore is Alg. 1's circuit-space exploration (lines 12–22).
 func explore(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
+	res.Frontier = newFrontier(res.AccurateModelArea)
+	res.Frontier.markCommitted(res.Frontier.add(FrontierPoint{
+		Step: -1, BlockIndex: -1, ModelArea: res.AccurateModelArea,
+	}))
 	if cfg.Lazy {
 		return exploreLazy(ctx, res, ce, cfg)
 	}
@@ -523,40 +578,43 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		err     float64
 		report  qor.Report
 		version int // state version the estimate was computed at
+		ptIdx   int // frontier index of the latest measurement
 	}
 	version := 0
 	var cands []*cand
 	for bi, p := range res.Profiles {
 		if p.MaxDegree()-1 >= 1 && len(p.Variants) >= p.MaxDegree()-1 {
-			cands = append(cands, &cand{bi: bi, err: -1, version: -1})
+			cands = append(cands, &cand{bi: bi, err: -1, version: -1, ptIdx: -1})
 		}
 	}
-	measure := func(batch []*cand) error {
-		var wg sync.WaitGroup
-		errs := make([]error, len(batch))
-		sem := make(chan struct{}, cfg.Parallelism)
+	shards := ce.shards(cfg.Workers)
+	measure := func(step int, batch []*cand) error {
+		bis := make([]int, len(batch))
 		for i, cd := range batch {
-			if ctx.Err() != nil {
-				break
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, cd *cand) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				cd.report, errs[i] = ce.evaluate(degrees, cd.bi)
-				cd.err = cd.report.Value(cfg.Metric)
-				cd.version = version
-			}(i, cd)
+			bis[i] = cd.bi
 		}
-		wg.Wait()
+		results := runSweep(ctx, shards, degrees, bis)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for _, err := range errs {
-			if err != nil {
-				return err
+		for i, cd := range batch {
+			r := &results[i]
+			if r.err != nil {
+				return r.err
 			}
+			cd.report = r.report
+			cd.err = r.report.Value(cfg.Metric)
+			cd.version = version
+			degrees[cd.bi]--
+			area := res.modelArea(degrees)
+			degrees[cd.bi]++
+			cd.ptIdx = res.Frontier.add(FrontierPoint{
+				Error:      cd.err,
+				ModelArea:  area,
+				Step:       step,
+				BlockIndex: cd.bi,
+				Degree:     degrees[cd.bi] - 1,
+			})
 		}
 		return nil
 	}
@@ -591,6 +649,10 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 				break
 			}
 			// Refresh the most promising stale candidates in one batch.
+			// The batch cap stays tied to Parallelism, not Workers: batch
+			// size changes which candidates get fresh estimates and hence
+			// the lazy trajectory, while Workers must remain a pure
+			// scheduling choice (bit-identical results at any value).
 			var stale []*cand
 			for _, cd := range cands {
 				if cd.version != version {
@@ -600,10 +662,11 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 					}
 				}
 			}
-			if err := measure(stale); err != nil {
+			if err := measure(step, stale); err != nil {
 				return err
 			}
 		}
+		res.Frontier.markCommitted(chosen.ptIdx)
 		degrees[chosen.bi]--
 		version++
 		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
@@ -626,66 +689,63 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 }
 
 // exploreExhaustive re-evaluates every candidate each iteration, exactly as
-// Algorithm 1 is written.
+// Algorithm 1 is written. The per-step sweep is sharded across cfg.Workers
+// worker shards (runSweep) and reduced serially under the fixed
+// (error, area, block index) order, so every worker count commits the same
+// trajectory and records the same frontier.
 func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
 	nBlocks := len(res.Profiles)
 	degrees := make([]int, nBlocks) // current degree; MaxDegree = accurate
 	for bi, p := range res.Profiles {
 		degrees[bi] = p.MaxDegree()
 	}
+	shards := ce.shards(cfg.Workers)
 
-	currentErr := 0.0
 	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Candidates: blocks whose degree can still be decremented.
-		type cand struct {
-			bi     int
-			report qor.Report
-			err    error
-		}
-		var cands []*cand
+		var cands []int
 		for bi, p := range res.Profiles {
 			next := degrees[bi] - 1
 			if next < 1 || next > len(p.Variants) {
 				continue
 			}
-			cands = append(cands, &cand{bi: bi})
+			cands = append(cands, bi)
 		}
 		if len(cands) == 0 {
 			break
 		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Parallelism)
-		for _, cd := range cands {
-			if ctx.Err() != nil {
-				break
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(cd *cand) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				cd.report, cd.err = ce.evaluate(degrees, cd.bi)
-			}(cd)
-		}
-		wg.Wait()
+		results := runSweep(ctx, shards, degrees, cands)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		best := -1
-		bestErr := math.Inf(1)
-		for i, cd := range cands {
-			if cd.err != nil {
-				return cd.err
+		// Serial reduction in candidate order: record every evaluated point
+		// on the frontier and pick the winner deterministically.
+		red := newSweepReducer(cfg.Metric)
+		bestPt := -1
+		for i := range results {
+			r := &results[i]
+			if r.err != nil {
+				return r.err
 			}
-			if v := cd.report.Value(cfg.Metric); v < bestErr {
-				bestErr = v
-				best = i
+			degrees[r.bi]--
+			area := res.modelArea(degrees)
+			degrees[r.bi]++
+			pt := res.Frontier.add(FrontierPoint{
+				Error:      r.report.Value(cfg.Metric),
+				ModelArea:  area,
+				Step:       step,
+				BlockIndex: r.bi,
+				Degree:     degrees[r.bi] - 1,
+			})
+			if red.offer(i, r.report, area, r.bi) {
+				bestPt = pt
 			}
 		}
-		chosen := cands[best]
+		chosen := &results[red.best]
+		res.Frontier.markCommitted(bestPt)
 		degrees[chosen.bi]--
 		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
 			return err
@@ -696,12 +756,10 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 			Report:     chosen.report,
 			ModelArea:  res.modelArea(degrees),
 		}, cfg)
-		currentErr = chosen.report.Value(cfg.Metric)
-		if !cfg.ExploreFully && currentErr >= cfg.Threshold {
+		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
 			break
 		}
 	}
-	_ = currentErr
 	return nil
 }
 
@@ -816,8 +874,10 @@ func (r *Result) Trace() []TracePoint {
 	return pts
 }
 
-// ParetoFront extracts the non-dominated (area, error) points of the trace
-// under the configured metric.
+// ParetoFront extracts the non-dominated (area, error) points of the
+// committed trace under the configured metric. Result.Frontier is the
+// superset view: it also covers the sweep candidates that were evaluated
+// but never committed.
 func (r *Result) ParetoFront() []TracePoint {
 	pts := r.Trace()
 	type ae struct {

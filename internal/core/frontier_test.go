@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// naiveFront computes the non-dominated set by brute force.
+func naiveFront(pts []FrontierPoint) []FrontierPoint {
+	var out []FrontierPoint
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			// Strict domination, with equal points collapsing onto the
+			// earliest occurrence.
+			if q.Error <= p.Error && q.ModelArea <= p.ModelArea &&
+				(q.Error < p.Error || q.ModelArea < p.ModelArea || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Error < out[j].Error })
+	return out
+}
+
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		f := newFrontier(100)
+		var pts []FrontierPoint
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			p := FrontierPoint{
+				// Coarse grid so exact ties (both axes) occur.
+				Error:     float64(rng.Intn(8)) / 10,
+				ModelArea: float64(10 + rng.Intn(8)*10),
+				Step:      i,
+			}
+			f.add(p)
+			p.NormModelArea = p.ModelArea / 100
+			pts = append(pts, p)
+		}
+		got := f.Front()
+		want := naiveFront(pts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: front size %d, want %d\ngot %+v\nwant %+v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i].Error != want[i].Error || got[i].ModelArea != want[i].ModelArea {
+				t.Fatalf("trial %d entry %d: got (%g, %g), want (%g, %g)",
+					trial, i, got[i].Error, got[i].ModelArea, want[i].Error, want[i].ModelArea)
+			}
+		}
+		// Invariant: error strictly ascending, area strictly descending.
+		for i := 1; i < len(got); i++ {
+			if got[i].Error <= got[i-1].Error || got[i].ModelArea >= got[i-1].ModelArea {
+				t.Fatalf("trial %d: front not strictly monotone at %d: %+v", trial, i, got)
+			}
+		}
+	}
+}
+
+func TestFrontierCommitAndCSV(t *testing.T) {
+	f := newFrontier(200)
+	i0 := f.add(FrontierPoint{Error: 0, ModelArea: 200, Step: -1, BlockIndex: -1})
+	f.markCommitted(i0)
+	f.add(FrontierPoint{Error: 0.01, ModelArea: 180, Step: 0, BlockIndex: 2, Degree: 3})
+	i2 := f.add(FrontierPoint{Error: 0.005, ModelArea: 170, Step: 0, BlockIndex: 1, Degree: 4})
+	f.markCommitted(i2)
+	f.add(FrontierPoint{Error: 0.02, ModelArea: 190, Step: 1, BlockIndex: 0, Degree: 2}) // dominated
+
+	if f.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", f.Size())
+	}
+	front := f.Front()
+	if len(front) != 2 {
+		t.Fatalf("front = %+v, want accurate + (0.005, 170)", front)
+	}
+	if !front[0].Committed || front[0].Error != 0 || front[1].ModelArea != 170 {
+		t.Fatalf("unexpected front %+v", front)
+	}
+	if front[1].NormModelArea != 170.0/200 {
+		t.Fatalf("norm area %g, want %g", front[1].NormModelArea, 170.0/200)
+	}
+
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("front CSV has %d lines, want header + 2 rows:\n%s", got, sb.String())
+	}
+	sb.Reset()
+	if err := f.WriteCSV(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("full CSV has %d lines, want header + 4 rows:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "error,model_area") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// The dominated row must be flagged off-front.
+	if !strings.HasSuffix(lines[4], ",false") {
+		t.Fatalf("dominated row not flagged: %q", lines[4])
+	}
+}

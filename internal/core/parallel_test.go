@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// TestParallelSweepDeterminism explores three example circuits with
+// Workers = 1, 2, 8 and requires the committed trajectory and the full
+// evaluated frontier to be identical to the serial sweep, bit for bit —
+// sharding and the deterministic (error, area, block index) reduction must
+// make the worker count purely a scheduling choice.
+func TestParallelSweepDeterminism(t *testing.T) {
+	mult8 := bench.Mult8()
+	adder32 := bench.Adder32()
+	cases := []struct {
+		name string
+		circ bench.Circuit
+		cfg  Config
+	}{
+		{"Mult8", mult8, Config{
+			K: 6, M: 4, Samples: 1 << 10, Seed: 17, ExploreFully: true, MaxSteps: 8,
+		}},
+		{"Adder32", adder32, Config{
+			K: 8, M: 6, Samples: 1 << 10, Seed: 3, ExploreFully: true, MaxSteps: 6,
+		}},
+		{"ArrayMult5", bench.Circuit{
+			Name: "ArrayMult5", Circ: arrayMult(5), Spec: qor.Unsigned("p", 10),
+		}, Config{
+			K: 6, M: 4, Samples: 1 << 10, Seed: 9, ExploreFully: true, MaxSteps: 10,
+		}},
+		// Lazy-greedy must be Workers-invariant too: its refresh-batch size
+		// is tied to Parallelism (pinned here), never to Workers.
+		{"Mult8Lazy", mult8, Config{
+			K: 6, M: 4, Samples: 1 << 10, Seed: 17, ExploreFully: true, MaxSteps: 8,
+			Lazy: true, Parallelism: 4,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var ref *Result
+			for _, workers := range []int{1, 2, 8} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				res, err := Approximate(tc.circ.Circ, tc.circ.Spec, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Frontier == nil || res.Frontier.Size() == 0 {
+					t.Fatalf("workers=%d: empty frontier", workers)
+				}
+				if workers == 1 {
+					ref = res
+					if len(ref.Steps) == 0 {
+						t.Fatal("serial exploration made no steps")
+					}
+					continue
+				}
+				assertSameExploration(t, workers, ref, res)
+			}
+		})
+	}
+}
+
+// assertSameExploration requires identical trajectories and identical
+// frontiers between the serial reference and a parallel run.
+func assertSameExploration(t *testing.T, workers int, ref, got *Result) {
+	t.Helper()
+	if len(got.Steps) != len(ref.Steps) {
+		t.Fatalf("workers=%d: %d steps, serial %d", workers, len(got.Steps), len(ref.Steps))
+	}
+	for i := range ref.Steps {
+		a, b := ref.Steps[i], got.Steps[i]
+		if a.BlockIndex != b.BlockIndex || a.NewDegree != b.NewDegree {
+			t.Fatalf("workers=%d step %d: committed block %d->%d, serial %d->%d",
+				workers, i, b.BlockIndex, b.NewDegree, a.BlockIndex, a.NewDegree)
+		}
+		if a.Report != b.Report {
+			t.Fatalf("workers=%d step %d: report diverged:\nparallel %+v\nserial   %+v",
+				workers, i, b.Report, a.Report)
+		}
+		if a.ModelArea != b.ModelArea {
+			t.Fatalf("workers=%d step %d: model area %v != %v", workers, i, b.ModelArea, a.ModelArea)
+		}
+	}
+	if got.BestStep != ref.BestStep {
+		t.Fatalf("workers=%d: best step %d, serial %d", workers, got.BestStep, ref.BestStep)
+	}
+	refPts, gotPts := ref.Frontier.Points(), got.Frontier.Points()
+	if len(gotPts) != len(refPts) {
+		t.Fatalf("workers=%d: %d frontier points, serial %d", workers, len(gotPts), len(refPts))
+	}
+	for i := range refPts {
+		if refPts[i] != gotPts[i] {
+			t.Fatalf("workers=%d frontier point %d diverged:\nparallel %+v\nserial   %+v",
+				workers, i, gotPts[i], refPts[i])
+		}
+	}
+	refFront, gotFront := ref.Frontier.Front(), got.Frontier.Front()
+	if len(gotFront) != len(refFront) {
+		t.Fatalf("workers=%d: front size %d, serial %d", workers, len(gotFront), len(refFront))
+	}
+	for i := range refFront {
+		if refFront[i] != gotFront[i] {
+			t.Fatalf("workers=%d front entry %d diverged", workers, i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/sched"
+)
+
+// candidateShard is a worker-private handle for evaluating sweep candidates;
+// evaluate has the same contract as candidateEvaluator.evaluate. Distinct
+// shards may evaluate concurrently; one shard is used by one worker at a
+// time, and never concurrently with commit.
+type candidateShard interface {
+	evaluate(degrees []int, bi int) (qor.Report, error)
+}
+
+// sweepResult is one candidate's outcome from a sharded sweep. Slots a
+// cancellation left unevaluated are zero; callers detect that case through
+// ctx.Err() immediately after runSweep, before reading any result.
+type sweepResult struct {
+	bi     int
+	report qor.Report
+	err    error
+}
+
+// runSweep evaluates every candidate (block indices over the committed
+// degree vector) across the given shards and returns results indexed like
+// cands. Sharding is by candidate position — shard s takes candidates
+// s, s+W, s+2W, … — and each result lands in its own slot, so the output is
+// identical for every worker count; only the schedule changes. Extra workers
+// run on goroutine tokens from the machine-wide sched budget (shared with
+// the BMF tau sweep); shards that win no token run inline on the caller, so
+// the sweep never blocks on the budget and never oversubscribes the CPU.
+func runSweep(ctx context.Context, shards []candidateShard, degrees []int, cands []int) []sweepResult {
+	results := make([]sweepResult, len(cands))
+	w := len(shards)
+	if w > len(cands) {
+		w = len(cands)
+	}
+	runShard := func(s int, sh candidateShard) {
+		for i := s; i < len(cands); i += w {
+			if ctx.Err() != nil {
+				return
+			}
+			bi := cands[i]
+			rep, err := sh.evaluate(degrees, bi)
+			results[i] = sweepResult{bi: bi, report: rep, err: err}
+		}
+	}
+	if w <= 1 {
+		if w == 1 {
+			runShard(0, shards[0])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	var inline []int
+	for s := 1; s < w; s++ {
+		if sched.TryAcquire() {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				defer sched.Release()
+				runShard(s, shards[s])
+			}(s)
+		} else {
+			inline = append(inline, s)
+		}
+	}
+	runShard(0, shards[0])
+	for _, s := range inline {
+		runShard(s, shards[s])
+	}
+	wg.Wait()
+	return results
+}
+
+// sweepReducer is the deterministic reduction of a step's sweep: the best
+// candidate under the fixed total order (error, area-after-commit,
+// block index), all ascending. Because the order is total and every
+// candidate's evaluation is deterministic, the reduction picks the same
+// winner for any worker count — the parallel sweep is bit-identical to the
+// serial one.
+type sweepReducer struct {
+	metric   qor.Metric
+	best     int // index into the results being reduced, -1 before any
+	bestErr  float64
+	bestArea float64
+	bestBi   int
+}
+
+func newSweepReducer(metric qor.Metric) sweepReducer {
+	return sweepReducer{metric: metric, best: -1}
+}
+
+// offer considers candidate i with the given evaluated report and
+// area-after-commit; it returns true when i becomes the current winner.
+func (r *sweepReducer) offer(i int, rep qor.Report, area float64, bi int) bool {
+	v := rep.Value(r.metric)
+	if r.best >= 0 {
+		if v > r.bestErr {
+			return false
+		}
+		if v == r.bestErr {
+			if area > r.bestArea {
+				return false
+			}
+			if area == r.bestArea && bi > r.bestBi {
+				return false
+			}
+		}
+	}
+	r.best, r.bestErr, r.bestArea, r.bestBi = i, v, area, bi
+	return true
+}

@@ -79,7 +79,11 @@ type JobConfig struct {
 	MaxSteps     int     `json:"max_steps,omitempty"`
 	Lazy         bool    `json:"lazy,omitempty"`
 	Parallelism  int     `json:"parallelism,omitempty"`
-	SynthExact   bool    `json:"synth_exact,omitempty"`
+	// Workers bounds the per-step candidate-sweep worker pool (0 = the
+	// job's parallelism). Any value yields bit-identical results; see
+	// core.Config.Workers.
+	Workers    int  `json:"workers,omitempty"`
+	SynthExact bool `json:"synth_exact,omitempty"`
 
 	// Outputs overrides the output interpretation; nil means one unsigned
 	// bus over all outputs (or the benchmark's own spec for benchmark jobs).
@@ -117,6 +121,7 @@ func (jc JobConfig) CoreConfig() (core.Config, error) {
 		MaxSteps:     jc.MaxSteps,
 		Lazy:         jc.Lazy,
 		Parallelism:  jc.Parallelism,
+		Workers:      jc.Workers,
 		SynthExact:   jc.SynthExact,
 	}
 	if jc.Sequence != nil {

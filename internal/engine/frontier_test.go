@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerFrontierEndpoint runs a benchmark job and exercises
+// GET /v1/jobs/{id}/frontier in JSON and CSV, plus the status summary's
+// frontier counters.
+func TestServerFrontierEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "Fig3",
+		"config": JobConfig{
+			Samples: 1 << 8, Seed: 1, MaxSteps: 3, ExploreFully: true, Workers: 2,
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.FrontierURL == "" {
+		t.Fatalf("submit response missing frontier URL: %+v", sub)
+	}
+
+	// The frontier of a still-running (or queued) job is a 409.
+	if resp, _ := getBody(t, ts.URL+sub.FrontierURL); resp.StatusCode != http.StatusOK &&
+		resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early frontier fetch: %d", resp.StatusCode)
+	}
+
+	var st Status
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, body = getBody(t, ts.URL+sub.StatusURL)
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.EvaluatedPoints == 0 || st.Result.ParetoPoints == 0 {
+		t.Fatalf("status summary missing frontier counters: %+v", st.Result)
+	}
+
+	resp, body = getBody(t, ts.URL+sub.FrontierURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier: %d %s", resp.StatusCode, body)
+	}
+	var fr frontierResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.JobID != sub.ID || fr.Evaluated != st.Result.EvaluatedPoints || len(fr.Front) != st.Result.ParetoPoints {
+		t.Fatalf("frontier response inconsistent with status: %+v vs %+v", fr, st.Result)
+	}
+	if len(fr.Points) != 0 {
+		t.Fatalf("points included without ?points=1: %d", len(fr.Points))
+	}
+	// The accurate starting point leads the front.
+	if fr.Front[0].Error != 0 || fr.Front[0].Step != -1 || !fr.Front[0].Committed {
+		t.Fatalf("front does not start at the accurate point: %+v", fr.Front[0])
+	}
+
+	resp, body = getBody(t, ts.URL+sub.FrontierURL+"?points=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier?points=1: %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Points) != fr.Evaluated {
+		t.Fatalf("full dump has %d points, evaluated %d", len(fr.Points), fr.Evaluated)
+	}
+
+	resp, body = getBody(t, ts.URL+sub.FrontierURL+"?format=csv&points=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier csv: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != fr.Evaluated+1 || !strings.HasPrefix(lines[0], "error,model_area") {
+		t.Fatalf("csv dump has %d lines (want %d rows + header):\n%s", len(lines), fr.Evaluated, body)
+	}
+
+	if resp, _ := getBody(t, ts.URL+sub.FrontierURL+"?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/job-unknown/frontier"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job frontier: %d", resp.StatusCode)
+	}
+}

@@ -162,6 +162,11 @@ type ResultSummary struct {
 	AccurateModelArea float64     `json:"accurate_model_area"`
 	BestNormArea      float64     `json:"best_norm_area"`
 	BestReport        *qor.Report `json:"best_report,omitempty"`
+	// EvaluatedPoints counts every (error, area) point the exploration
+	// evaluated; ParetoPoints is the non-dominated subset. The points
+	// themselves are served by GET /v1/jobs/{id}/frontier.
+	EvaluatedPoints int `json:"evaluated_points,omitempty"`
+	ParetoPoints    int `json:"pareto_points,omitempty"`
 }
 
 // Status is a point-in-time JSON-ready snapshot of a job.
@@ -218,6 +223,10 @@ func (j *Job) Snapshot(withTrace bool) Status {
 			}
 			rep := s.Report
 			sum.BestReport = &rep
+		}
+		if f := j.result.Frontier; f != nil {
+			sum.EvaluatedPoints = f.Size()
+			sum.ParetoPoints = len(f.Front())
 		}
 		st.Result = sum
 	}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/core"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
 
@@ -26,6 +27,9 @@ const maxRequestBody = 16 << 20
 //	POST   /v1/jobs/{id}/cancel     cancel (DELETE /v1/jobs/{id} works too)
 //	GET    /v1/jobs/{id}/result.blif  approximate netlist as BLIF
 //	GET    /v1/jobs/{id}/result.v     approximate netlist as Verilog
+//	GET    /v1/jobs/{id}/frontier   accuracy/area Pareto frontier
+//	                                (?points=1 adds every evaluated point,
+//	                                ?format=csv switches to CSV)
 //	GET    /healthz                 liveness
 //	GET    /metrics                 Prometheus text format
 type Server struct {
@@ -44,6 +48,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result.v", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -80,12 +85,13 @@ type submitRequest struct {
 }
 
 type submitResponse struct {
-	ID         string `json:"id"`
-	State      State  `json:"state"`
-	StatusURL  string `json:"status_url"`
-	CancelURL  string `json:"cancel_url"`
-	BLIFURL    string `json:"result_blif_url"`
-	VerilogURL string `json:"result_verilog_url"`
+	ID          string `json:"id"`
+	State       State  `json:"state"`
+	StatusURL   string `json:"status_url"`
+	CancelURL   string `json:"cancel_url"`
+	BLIFURL     string `json:"result_blif_url"`
+	VerilogURL  string `json:"result_verilog_url"`
+	FrontierURL string `json:"frontier_url"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -152,12 +158,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID:         j.ID,
-		State:      j.State(),
-		StatusURL:  "/v1/jobs/" + j.ID,
-		CancelURL:  "/v1/jobs/" + j.ID + "/cancel",
-		BLIFURL:    "/v1/jobs/" + j.ID + "/result.blif",
-		VerilogURL: "/v1/jobs/" + j.ID + "/result.v",
+		ID:          j.ID,
+		State:       j.State(),
+		StatusURL:   "/v1/jobs/" + j.ID,
+		CancelURL:   "/v1/jobs/" + j.ID + "/cancel",
+		BLIFURL:     "/v1/jobs/" + j.ID + "/result.blif",
+		VerilogURL:  "/v1/jobs/" + j.ID + "/result.v",
+		FrontierURL: "/v1/jobs/" + j.ID + "/frontier",
 	})
 }
 
@@ -184,19 +191,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]State{"state": state})
 }
 
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+// doneJob resolves the request's job and writes the appropriate error unless
+// the job finished successfully; callers bail out on nil.
+func (s *Server) doneJob(w http.ResponseWriter, r *http.Request) *Job {
 	j, err := s.engine.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
-		return
+		return nil
 	}
 	switch j.State() {
 	case StateDone:
+		return j
 	case StateFailed, StateCancelled:
 		writeError(w, http.StatusGone, "job %s is %s", j.ID, j.State())
-		return
+		return nil
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.ID, j.State())
+		return nil
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.doneJob(w, r)
+	if j == nil {
 		return
 	}
 	circ, err := j.Result().BestCircuit()
@@ -214,6 +231,44 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// The 200 header is already out; the truncated body is the best
 		// signal left.
 		fmt.Fprintf(w, "\n# error: %v\n", err)
+	}
+}
+
+// frontierResponse is the JSON body of GET /v1/jobs/{id}/frontier: the
+// non-dominated accuracy/area set, plus (with ?points=1) every evaluated
+// point of the exploration.
+type frontierResponse struct {
+	JobID     string               `json:"job_id"`
+	Evaluated int                  `json:"evaluated"`
+	Front     []core.FrontierPoint `json:"front"`
+	Points    []core.FrontierPoint `json:"points,omitempty"`
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	j := s.doneJob(w, r)
+	if j == nil {
+		return
+	}
+	f := j.Result().Frontier
+	if f == nil {
+		writeError(w, http.StatusNotFound, "job %s recorded no frontier", j.ID)
+		return
+	}
+	all := r.URL.Query().Get("points") == "1"
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		resp := frontierResponse{JobID: j.ID, Evaluated: f.Size(), Front: f.Front()}
+		if all {
+			resp.Points = f.Points()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := f.WriteCSV(w, all); err != nil {
+			fmt.Fprintf(w, "\n# error: %v\n", err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (known: json, csv)", format)
 	}
 }
 

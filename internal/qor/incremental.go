@@ -167,11 +167,10 @@ type icScratch struct {
 	acc reportAccum
 }
 
-func (ic *IncrementalComparer) getScratch() *icScratch {
-	sc, _ := ic.scratchPool.Get().(*icScratch)
-	if sc == nil {
-		sc = &icScratch{}
-	}
+// prepScratch sizes a scratch for the reference circuit and resets the
+// per-evaluation compile state. Marker arrays (dirty, inFrontier) are assumed
+// clear — clearMarks restores that invariant after each compilation.
+func (ic *IncrementalComparer) prepScratch(sc *icScratch) {
 	n := len(ic.eval.ref.Nodes)
 	if len(sc.dirty) < n {
 		sc.dirty = make([]bool, n)
@@ -189,12 +188,11 @@ func (ic *IncrementalComparer) getScratch() *icScratch {
 	sc.coneFrontier = sc.coneFrontier[:0]
 	sc.outSrc = sc.outSrc[:0]
 	sc.nSlots = n
-	return sc
 }
 
-// putScratch clears the static-cone markers and returns the scratch to the
-// pool.
-func (ic *IncrementalComparer) putScratch(sc *icScratch) {
+// clearMarks resets the static-cone and frontier markers after a
+// compilation, in O(cone) time.
+func (sc *icScratch) clearMarks() {
 	for _, n := range sc.dirtyList {
 		sc.dirty[n] = false
 	}
@@ -204,6 +202,21 @@ func (ic *IncrementalComparer) putScratch(sc *icScratch) {
 	for _, n := range sc.coneFrontier {
 		sc.inFrontier[n] = false
 	}
+}
+
+func (ic *IncrementalComparer) getScratch() *icScratch {
+	sc, _ := ic.scratchPool.Get().(*icScratch)
+	if sc == nil {
+		sc = &icScratch{}
+	}
+	ic.prepScratch(sc)
+	return sc
+}
+
+// putScratch clears the static-cone markers and returns the scratch to the
+// pool.
+func (ic *IncrementalComparer) putScratch(sc *icScratch) {
+	sc.clearMarks()
 	ic.scratchPool.Put(sc)
 }
 
@@ -500,11 +513,18 @@ func (ic *IncrementalComparer) reachesOutput(sc *icScratch) bool {
 // to rebuilding the substituted circuit and evaluating it with
 // Evaluator.Compare on the same sample stream.
 func (ic *IncrementalComparer) CompareCandidate(bi int, impl *logic.Circuit) (Report, error) {
+	sc := ic.getScratch()
+	defer ic.putScratch(sc)
+	return ic.compareWith(sc, bi, impl)
+}
+
+// compareWith is CompareCandidate over caller-owned scratch; sc must be
+// prepped (prepScratch) with clear markers, and is left compiled — the
+// caller clears its marks.
+func (ic *IncrementalComparer) compareWith(sc *icScratch, bi int, impl *logic.Circuit) (Report, error) {
 	if err := ic.checkCandidate(bi, impl); err != nil {
 		return Report{}, err
 	}
-	sc := ic.getScratch()
-	defer ic.putScratch(sc)
 	ic.compile(bi, impl, sc)
 	e := ic.eval
 	if !ic.reachesOutput(sc) {
@@ -584,6 +604,41 @@ func (ic *IncrementalComparer) reportFromBase() Report {
 		acc.fold(&ic.stats[b])
 	}
 	return acc.report(e.samples, e.exhaustive)
+}
+
+// Shard is a worker-private evaluation handle onto an IncrementalComparer,
+// built for sharded parallel candidate sweeps: each worker of a sweep owns
+// one Shard outright, so candidate evaluations proceed with zero scratch-pool
+// contention and zero steady-state allocation, while all shards read the same
+// committed baseline cache (ic.base) and per-batch metric partials.
+//
+// Concurrency contract: CompareCandidate may run concurrently on distinct
+// Shards (and concurrently with the parent's CompareCandidate); a single
+// Shard is not safe for concurrent use with itself, and no Shard may run
+// concurrently with IncrementalComparer.Commit — commits mutate the shared
+// baseline the shards read. Shards stay valid across commits: the next
+// evaluation simply sees the new committed state.
+//
+// Because evaluation is read-only and deterministic, a candidate evaluated
+// through any Shard returns a report bit-identical to the parent's
+// CompareCandidate — sharding affects scheduling, never results.
+type Shard struct {
+	ic *IncrementalComparer
+	sc icScratch
+}
+
+// Shard creates a worker-private evaluation handle (see Shard).
+func (ic *IncrementalComparer) Shard() *Shard {
+	return &Shard{ic: ic}
+}
+
+// CompareCandidate evaluates (bi, impl) on this shard's private scratch; see
+// IncrementalComparer.CompareCandidate for semantics.
+func (s *Shard) CompareCandidate(bi int, impl *logic.Circuit) (Report, error) {
+	s.ic.prepScratch(&s.sc)
+	rep, err := s.ic.compareWith(&s.sc, bi, impl)
+	s.sc.clearMarks()
+	return rep, err
 }
 
 // PlanStats instruments one candidate evaluation for benchmarking and

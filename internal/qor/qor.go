@@ -514,8 +514,3 @@ func groupFloat(g *Group, v uint64) float64 {
 	}
 	return float64(v)
 }
-
-// decode extracts the group's numeric value for one sample lane.
-func decode(out []uint64, g *Group, lane uint) float64 {
-	return groupFloat(g, decodeInt(out, g, lane))
-}

@@ -1,0 +1,97 @@
+package qor
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+// TestShardMatchesParent evaluates every candidate through a Shard and
+// through the parent comparer and requires bit-identical reports, including
+// after a commit advances the shared committed state.
+func TestShardMatchesParent(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 8)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := ic.Shard()
+	impls := make([]*logic.Circuit, len(blocks))
+	for bi := range blocks {
+		impls[bi] = constImpl(len(blocks[bi].Inputs), len(blocks[bi].Outputs), bi%2 == 0)
+	}
+	check := func() {
+		t.Helper()
+		for bi := range blocks {
+			want, err := ic.CompareCandidate(bi, impls[bi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.CompareCandidate(bi, impls[bi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("block %d: shard report %+v != parent %+v", bi, got, want)
+			}
+		}
+	}
+	check()
+	// Shards must observe committed state changes.
+	if _, err := ic.Commit(0, impls[0]); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// TestShardsConcurrentDisjointSubsets mimics the explorer's sharded sweep:
+// each shard evaluates a disjoint candidate subset concurrently, and every
+// result must match the serial evaluation (run with -race).
+func TestShardsConcurrentDisjointSubsets(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 8)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impls := make([]*logic.Circuit, len(blocks))
+	want := make([]Report, len(blocks))
+	for bi := range blocks {
+		impls[bi] = constImpl(len(blocks[bi].Inputs), len(blocks[bi].Outputs), bi%2 == 0)
+		if want[bi], err = ic.CompareCandidate(bi, impls[bi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got := make([]Report, len(blocks))
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sh := ic.Shard()
+				for bi := w; bi < len(blocks); bi += workers {
+					rep, err := sh.CompareCandidate(bi, impls[bi])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					got[bi] = rep
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for bi := range blocks {
+			if got[bi] != want[bi] {
+				t.Fatalf("workers=%d block %d: sharded report %+v != serial %+v",
+					workers, bi, got[bi], want[bi])
+			}
+		}
+	}
+}

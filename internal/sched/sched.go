@@ -1,0 +1,44 @@
+// Package sched provides the machine-wide goroutine budget shared by every
+// parallel fan-out in the flow: the BMF tau sweep (internal/bmf), the
+// explorer's per-step candidate sweep (internal/core), and any future
+// data-parallel stage. The flow's parallelism nests — engine workers run
+// jobs whose profiling is parallel across blocks, each block factorization
+// sweeps taus in parallel, and each exploration step sweeps candidates in
+// parallel — so letting every layer size its own pool at GOMAXPROCS would
+// oversubscribe the CPU multiplicatively. Instead, every layer asks this
+// package for a token per *extra* goroutine and runs the work inline on the
+// calling goroutine when none is available. The calling goroutine itself
+// never needs a token (it is already running), so the steady state is at
+// most GOMAXPROCS spawned goroutines machine-wide on top of the callers,
+// and no fan-out ever blocks waiting for a token.
+//
+// Correctness never depends on a token being granted: a denied TryAcquire
+// only serializes work that would otherwise run concurrently. Callers must
+// therefore keep their sharding and reduction deterministic regardless of
+// how many tokens they win (see core's candidate sweep and bmf.Factorize).
+package sched
+
+import "runtime"
+
+// tokens is the machine-wide budget: one slot per logical CPU at init.
+var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// TryAcquire claims one goroutine token without blocking. It returns true
+// when the caller may spawn one extra worker goroutine; the caller must
+// Release the token when that goroutine finishes. On false the caller runs
+// the work inline instead.
+func TryAcquire() bool {
+	select {
+	case tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token claimed by TryAcquire.
+func Release() { <-tokens }
+
+// Budget reports the total token count (the machine-wide cap on extra
+// worker goroutines).
+func Budget() int { return cap(tokens) }

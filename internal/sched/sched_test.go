@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestBudgetMatchesGOMAXPROCS(t *testing.T) {
+	if got, want := Budget(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Budget() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestTryAcquireBoundsTokens(t *testing.T) {
+	n := Budget()
+	acquired := 0
+	for i := 0; i < n+3; i++ {
+		if TryAcquire() {
+			acquired++
+		}
+	}
+	if acquired != n {
+		t.Errorf("acquired %d tokens, want exactly the budget %d", acquired, n)
+	}
+	// Over-budget attempts must fail, not block.
+	if TryAcquire() {
+		t.Error("TryAcquire succeeded beyond the budget")
+	}
+	for i := 0; i < acquired; i++ {
+		Release()
+	}
+	if !TryAcquire() {
+		t.Error("TryAcquire failed after all tokens were released")
+	}
+	Release()
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if TryAcquire() {
+					Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every claimed token must have been returned.
+	n := Budget()
+	got := 0
+	for TryAcquire() {
+		got++
+	}
+	for i := 0; i < got; i++ {
+		Release()
+	}
+	if got != n {
+		t.Errorf("after churn, %d tokens available, want %d", got, n)
+	}
+}

@@ -4,27 +4,63 @@
 # Runs the root-package paper-reproduction benchmarks (Tables 1-3, Figures
 # 3-5, ablations, engine speedup) plus the hot-loop microbenchmarks
 # (BenchmarkFactorize / BenchmarkCompare / BenchmarkExplore, which record
-# candidate-evals/sec, explore-steps/sec, allocs/op, and the incremental
-# engine's speedups over the pre-PR full-rebuild path) and the
-# internal/engine service benchmarks. The root suite's headline metrics are
-# written to BENCH_<date>.json in the repo root via the -benchjson test flag;
-# -benchmem adds allocation figures to the textual output.
+# candidate-evals/sec, explore-steps/sec, the parallel candidate-sweep
+# speedup, allocs/op, and the incremental engine's speedups over the pre-PR
+# full-rebuild path) and the internal/engine service benchmarks. The root
+# suite's headline metrics are written to BENCH_<date>.json in the repo root
+# via the -benchjson test flag; -benchmem adds allocation figures to the
+# textual output.
+#
+# go test runs directly (never behind a pipeline, whose exit status would be
+# the downstream command's) and its exit code is checked explicitly, so a
+# benchmark failure fails the script even though the JSON writer runs from
+# TestMain afterwards — and output streams live.
 #
 # Usage:
-#   scripts/bench.sh                  # full suite, BENCH_$(date +%F).json
-#   scripts/bench.sh 'Compare|Explore'  # only benchmarks matching the pattern
-#   OUT=custom.json scripts/bench.sh  # override the output file
+#   scripts/bench.sh                      # full suite, BENCH_$(date +%F).json
+#   scripts/bench.sh 'Compare|Explore'    # only benchmarks matching the pattern
+#   scripts/bench.sh -workers 8           # worker count for the parallel-sweep leg
+#   OUT=custom.json scripts/bench.sh      # override the output file
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-.}"
+PATTERN='.'
+WORKERS=''
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-workers)
+		[ $# -ge 2 ] || { echo "bench.sh: -workers needs a value" >&2; exit 2; }
+		WORKERS="$2"
+		shift 2
+		;;
+	*)
+		PATTERN="$1"
+		shift
+		;;
+	esac
+done
+
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
-echo "== root benchmarks (pattern: $PATTERN) -> $OUT"
-go test . -run '^$' -bench "$PATTERN" -benchtime 1x -benchmem -timeout 60m -benchjson "$OUT"
+# check_status NAME STATUS: fail loudly instead of relying on set -e alone,
+# so a non-zero go test exit can never be masked by later steps.
+check_status() {
+	if [ "$2" -ne 0 ]; then
+		echo "bench.sh: $1 failed (exit $2)" >&2
+		exit "$2"
+	fi
+}
+
+echo "== root benchmarks (pattern: $PATTERN${WORKERS:+, workers: $WORKERS}) -> $OUT"
+status=0
+go test . -run '^$' -bench "$PATTERN" -benchtime 1x -benchmem \
+	-timeout 60m -benchjson "$OUT" ${WORKERS:+-workers "$WORKERS"} || status=$?
+check_status "root benchmarks" "$status"
 
 echo "== engine service benchmarks"
-go test ./internal/engine -run '^$' -bench . -benchtime 1x -benchmem -timeout 30m
+status=0
+go test ./internal/engine -run '^$' -bench . -benchtime 1x -benchmem -timeout 30m || status=$?
+check_status "engine benchmarks" "$status"
 
 echo "== wrote $OUT"

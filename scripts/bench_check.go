@@ -1,0 +1,187 @@
+// Command bench_check is the CI bench-regression gate: it compares a freshly
+// written BENCH_<date>.json (see scripts/bench.sh and the root package's
+// -benchjson flag) against a committed baseline record and fails when a
+// watched throughput metric regressed beyond the tolerance.
+//
+// The default watch set covers the hot-path headline throughputs
+// (candidate-evals/sec, explore-steps/sec) plus the same-process speedup
+// ratios (candidate-eval-speedup-x, explore-speedup-x). The ratios compare
+// two legs measured in the same run, so machine speed cancels out and they
+// stay meaningful across dissimilar hardware; the absolute rates catch
+// regressions the ratios cannot (both legs slowing down together) but are
+// inherently noisier when baseline and fresh records come from different
+// machines or a loaded runner — tune -max-regress or -units if the gate
+// proves flaky in a given CI fleet. Metrics present in the baseline but
+// missing from the fresh record are reported as failures too — a silently
+// vanished benchmark must not pass the gate.
+//
+// Usage:
+//
+//	go run scripts/bench_check.go -new BENCH_ci.json
+//	go run scripts/bench_check.go -new BENCH_ci.json -baseline BENCH_2026-07-29.json \
+//	    -max-regress 0.30 -units 'candidate-evals/sec,explore-steps/sec'
+//
+// Without -baseline, the lexicographically newest BENCH_*.json in the
+// current directory other than -new is used (file names embed ISO dates, so
+// lexicographic order is chronological order).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchMetric and benchReport mirror the shapes written by the root
+// package's -benchjson flag (bench_json_test.go).
+type benchMetric struct {
+	Bench string  `json:"bench"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Metrics    []benchMetric `json:"metrics"`
+}
+
+func main() {
+	var (
+		newPath    = flag.String("new", "", "freshly written BENCH_<date>.json (required)")
+		basePath   = flag.String("baseline", "", "committed baseline record (default: newest BENCH_*.json other than -new)")
+		maxRegress = flag.Float64("max-regress", 0.30, "maximum tolerated fractional drop per watched metric")
+		unitsFlag  = flag.String("units",
+			"candidate-evals/sec,explore-steps/sec,candidate-eval-speedup-x,explore-speedup-x",
+			"comma-separated metric units to gate on")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench_check: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*newPath, *basePath, *maxRegress, splitUnits(*unitsFlag)); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_check:", err)
+		os.Exit(1)
+	}
+}
+
+func splitUnits(s string) map[string]bool {
+	units := make(map[string]bool)
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units[u] = true
+		}
+	}
+	return units
+}
+
+func run(newPath, basePath string, maxRegress float64, units map[string]bool) error {
+	if basePath == "" {
+		var err error
+		if basePath, err = latestBaseline(newPath); err != nil {
+			return err
+		}
+	}
+	fresh, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s (%s, %d CPU) vs fresh %s (%s, %d CPU), tolerance %.0f%%\n",
+		basePath, base.Date, base.NumCPU, newPath, fresh.Date, fresh.NumCPU, 100*maxRegress)
+
+	freshBy := make(map[string]float64, len(fresh.Metrics))
+	for _, m := range fresh.Metrics {
+		freshBy[m.Bench+"|"+m.Unit] = m.Value
+	}
+	var failures []string
+	checked := 0
+	for _, m := range base.Metrics {
+		if !units[m.Unit] || m.Value <= 0 {
+			continue
+		}
+		checked++
+		got, ok := freshBy[m.Bench+"|"+m.Unit]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s [%s]: missing from fresh record", m.Bench, m.Unit))
+			continue
+		}
+		change := got/m.Value - 1
+		status := "ok"
+		if change < -maxRegress {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s [%s]: %.1f -> %.1f (%+.1f%%)",
+				m.Bench, m.Unit, m.Value, got, 100*change))
+		}
+		fmt.Printf("  %-60s %-22s %12.1f -> %12.1f  %+7.1f%%  %s\n",
+			m.Bench, m.Unit, m.Value, got, 100*change, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s has no metrics with watched units %v — wrong file or wrong -units",
+			basePath, keys(units))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%:\n  %s",
+			len(failures), 100*maxRegress, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("bench gate passed: %d metric(s) within tolerance\n", checked)
+	return nil
+}
+
+// latestBaseline picks the newest BENCH_*.json beside newPath, excluding
+// newPath itself.
+func latestBaseline(newPath string) (string, error) {
+	dir := filepath.Dir(newPath)
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	newAbs, _ := filepath.Abs(newPath)
+	var cands []string
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == newAbs {
+			continue
+		}
+		cands = append(cands, m)
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("no committed BENCH_*.json baseline found in %s", dir)
+	}
+	sort.Strings(cands)
+	return cands[len(cands)-1], nil
+}
+
+func readReport(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("%s: no metrics recorded", path)
+	}
+	return &r, nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
