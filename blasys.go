@@ -39,6 +39,15 @@
 //	curl -s localhost:8080/v1/jobs/$JOB/frontier | jq .front
 //	curl -s 'localhost:8080/v1/jobs/'$JOB'/frontier?format=csv&points=1'
 //
+// The service is durable when started with -store-dir: jobs are journaled
+// to disk as they run, finished results are served immediately after a
+// restart, and an exploration interrupted by a crash or SIGTERM resumes
+// from its last committed step with bit-identical results (OpenJobStore /
+// EngineOptions.Store embeds the same machinery). Live progress streams per
+// job via GET /v1/jobs/{id}/events (Server-Sent Events). At the library
+// level the same checkpointing is exposed as Config.Checkpoint /
+// Config.Resume over the serializable ExplorerState.
+//
 // See cmd/blasys-serve for the full curl walkthrough (submitting BLIF,
 // polling status, downloading result.blif / result.v) and NewEngine for the
 // embeddable job engine behind it. Long-running library calls can be
@@ -67,6 +76,7 @@ import (
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/salsa"
+	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/techmap"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
@@ -97,7 +107,18 @@ type (
 	Frontier = core.Frontier
 	// FrontierPoint is one evaluated point of the Frontier.
 	FrontierPoint = core.FrontierPoint
+	// ExplorerState is the serializable checkpoint of an exploration:
+	// capture one per committed step through Config.Checkpoint, feed it
+	// back through Config.Resume, and the resumed run is bit-identical to
+	// an uninterrupted one.
+	ExplorerState = core.ExplorerState
 )
+
+// ReadExplorerState parses a serialized exploration checkpoint (the format
+// ExplorerState.WriteTo and cmd/blasys -checkpoint produce).
+func ReadExplorerState(r io.Reader) (*ExplorerState, error) {
+	return core.ReadExplorerState(r)
+}
 
 // QoR types.
 type (
@@ -183,7 +204,25 @@ type (
 	JobRequest = engine.Request
 	// JobState is a job's lifecycle stage.
 	JobState = engine.State
+	// JobEvent is one entry of a job's live progress stream (Job.Subscribe,
+	// GET /v1/jobs/{id}/events).
+	JobEvent = engine.Event
+	// JobStore is the durable snapshot+journal job store: assign one to
+	// EngineOptions.Store and jobs survive process restarts — finished
+	// results are served immediately after a restart and interrupted
+	// explorations resume from their last committed step.
+	JobStore = store.Store
+	// FactorizationDiskCache is the disk-backed, content-addressed
+	// factorization cache layer of a JobStore.
+	FactorizationDiskCache = store.DiskCache
+	// FactorizationTieredCache layers an in-memory cache over the disk
+	// cache (JobStore.TieredCache); warm factorizations survive restarts.
+	FactorizationTieredCache = store.TieredCache
 )
+
+// OpenJobStore creates (if needed) and opens a durable job store rooted at
+// dir. See JobStore.
+func OpenJobStore(dir string) (*JobStore, error) { return store.Open(dir) }
 
 // NewEngine starts a concurrent approximation engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }

@@ -36,6 +36,24 @@
 //	curl -s localhost:8080/v1/jobs/$JOB/frontier | jq .front
 //	curl -s "localhost:8080/v1/jobs/$JOB/frontier?format=csv&points=1" -o frontier.csv
 //
+// Stream live progress as Server-Sent Events (state transitions, committed
+// exploration steps, checkpoint notices; history replays first, the stream
+// ends with the terminal state):
+//
+//	curl -sN localhost:8080/v1/jobs/$JOB/events
+//
+// Durability: with -store-dir every job is journaled to disk as it runs
+// (request, state transitions, trace, checkpoints after each committed
+// exploration step, final result), and warm factorizations persist in a
+// disk-backed cache. A restarted process with the same -store-dir serves
+// finished results immediately and — unless -resume=false — re-enqueues
+// interrupted jobs, each continuing from its last checkpoint with results
+// bit-identical to an uninterrupted run:
+//
+//	blasys-serve -addr :8080 -store-dir /var/lib/blasys
+//	# ... kill -TERM the process mid-exploration ...
+//	blasys-serve -addr :8080 -store-dir /var/lib/blasys   # resumes the job
+//
 // Cancel, health, and service metrics:
 //
 //	curl -s -X POST localhost:8080/v1/jobs/$JOB/cancel
@@ -64,6 +82,7 @@ import (
 	"time"
 
 	"github.com/blasys-go/blasys/internal/engine"
+	"github.com/blasys-go/blasys/internal/store"
 )
 
 func main() {
@@ -73,15 +92,17 @@ func main() {
 		queueSize   = flag.Int("queue", 64, "bounded job queue size (submissions beyond it are rejected)")
 		parallelism = flag.Int("job-parallelism", 0, "worker goroutines per job (0 = GOMAXPROCS/workers)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		storeDir    = flag.String("store-dir", "", "durable job store directory (empty = in-memory only: jobs do not survive restarts)")
+		resume      = flag.Bool("resume", true, "with -store-dir, re-enqueue jobs the store recorded as queued or running, continuing each from its last checkpoint")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queueSize, *parallelism, *pprofAddr); err != nil {
+	if err := run(*addr, *workers, *queueSize, *parallelism, *pprofAddr, *storeDir, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueSize, parallelism int, pprofAddr string) error {
+func run(addr string, workers, queueSize, parallelism int, pprofAddr, storeDir string, resume bool) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -92,12 +113,33 @@ func run(addr string, workers, queueSize, parallelism int, pprofAddr string) err
 			parallelism = 1
 		}
 	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		if st, err = store.Open(storeDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		log.Printf("blasys-serve: durable store at %s (resume=%t)", storeDir, resume)
+	}
 	eng := engine.New(engine.Options{
 		Workers:        workers,
 		QueueSize:      queueSize,
 		JobParallelism: parallelism,
+		Store:          st,
+		Resume:         resume,
 	})
+	// On SIGTERM/SIGINT the HTTP listener drains first, then Close cancels
+	// running jobs; each job's latest exploration checkpoint is already on
+	// disk (written after every committed step), and an interrupted job's
+	// journal stays at "running", so the next start with the same -store-dir
+	// resumes it from that checkpoint.
 	defer eng.Close()
+	if st != nil {
+		m := eng.Metrics()
+		log.Printf("blasys-serve: store replayed (%d terminal jobs restored, %d interrupted jobs re-enqueued)",
+			m.JobsRestored, m.JobsResumed)
+	}
 
 	srv := &http.Server{
 		Addr:              addr,

@@ -7,12 +7,21 @@
 //	blasys -bench Adder32 -weighted -metric rel -trace trace.csv
 //	blasys -blif mydesign.blif -k 8 -m 8 -full
 //	blasys -bench Mult8 -full -workers 8 -frontier frontier.csv
+//
+// Long runs can checkpoint after every committed exploration step and resume
+// after an interruption (the resumed run is bit-identical to an
+// uninterrupted one):
+//
+//	blasys -bench Mult8 -full -checkpoint mult8.ckpt
+//	# ... interrupted ...
+//	blasys -bench Mult8 -full -checkpoint mult8.ckpt -resume mult8.ckpt
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,6 +32,7 @@ import (
 	"github.com/blasys-go/blasys/internal/core"
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/techmap"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
@@ -57,12 +67,14 @@ func main() {
 		tracePath    = flag.String("trace", "", "write the exploration trace as CSV")
 		frontierPath = flag.String("frontier", "", "write the evaluated accuracy/area frontier (suffix .json, else CSV)")
 		outPath      = flag.String("out", "", "write the chosen approximate netlist (suffix .v or .blif)")
+		ckptPath     = flag.String("checkpoint", "", "persist the exploration state to this file after every committed step (atomically replaced)")
+		resumePath   = flag.String("resume", "", "resume the exploration from a -checkpoint file (a missing file starts fresh)")
 		verbose      = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
 	if err := run(*benchName, *blifPath, *k, *m, *threshold, *metricName, *samples,
 		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *workers,
-		*tracePath, *frontierPath, *outPath, *verbose); err != nil {
+		*tracePath, *frontierPath, *outPath, *ckptPath, *resumePath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys:", err)
 		os.Exit(1)
 	}
@@ -70,7 +82,7 @@ func main() {
 
 func run(benchName, blifPath string, k, m int, threshold float64, metricName string,
 	samples, finalSamples int, seed int64, weighted bool, semiring string,
-	full bool, maxSteps int, lazy bool, workers int, tracePath, frontierPath, outPath string, verbose bool) error {
+	full bool, maxSteps int, lazy bool, workers int, tracePath, frontierPath, outPath, ckptPath, resumePath string, verbose bool) error {
 
 	metric, ok := metricNames[metricName]
 	if !ok {
@@ -113,6 +125,25 @@ func run(benchName, blifPath string, k, m int, threshold float64, metricName str
 		Seed: seed, Weighted: weighted, Semiring: sr, Lib: lib,
 		ExploreFully: full, MaxSteps: maxSteps, Sequence: seq, Lazy: lazy,
 		Workers: workers,
+	}
+	if resumePath != "" {
+		st, err := readCheckpointFile(resumePath)
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			cfg.Resume = st
+			fmt.Printf("resuming from %s (step %d)\n", resumePath, st.Step)
+		} else if verbose {
+			fmt.Printf("no checkpoint at %s; starting fresh\n", resumePath)
+		}
+	}
+	if ckptPath != "" {
+		cfg.Checkpoint = func(st core.ExplorerState) {
+			if err := writeCheckpointFile(ckptPath, &st); err != nil {
+				fmt.Fprintln(os.Stderr, "blasys: checkpoint:", err)
+			}
+		}
 	}
 
 	start := time.Now()
@@ -221,6 +252,31 @@ func writeFrontier(path string, res *core.Result) error {
 		}{fr.Size(), fr.Front(), fr.Points()})
 	}
 	return fr.WriteCSV(f, true)
+}
+
+// readCheckpointFile loads a -resume state; a missing file is not an error
+// (the run simply starts fresh), so kill/restart loops need no bootstrap
+// special case.
+func readCheckpointFile(path string) (*core.ExplorerState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadExplorerState(f)
+}
+
+// writeCheckpointFile atomically replaces the checkpoint file (fsynced
+// temp + rename), so an interrupted write — even a power cut — leaves
+// either the previous or the new state intact.
+func writeCheckpointFile(path string, st *core.ExplorerState) error {
+	return store.WriteFileAtomic(path, true, func(w io.Writer) error {
+		_, err := st.WriteTo(w)
+		return err
+	})
 }
 
 func writeNetlist(path string, c *logic.Circuit) error {

@@ -78,6 +78,19 @@ func keyFor(family byte, M *tt.Matrix, f int, opt Options) Key {
 	return k
 }
 
+// KeyFor returns the content address FactorizeCached stores its result
+// under. Exposed so external Cache implementations (e.g. a disk-backed
+// store) can be tested and pre-warmed against the exact keys the flow uses.
+func KeyFor(M *tt.Matrix, f int, opt Options) Key {
+	return keyFor(familyASSO, M, f, opt)
+}
+
+// KeyForColumns is KeyFor for the column-basis family
+// (FactorizeColumnsCached).
+func KeyForColumns(M *tt.Matrix, f int, opt Options) Key {
+	return keyFor(familyColumns, M, f, opt)
+}
+
 // CacheStats reports a cache's cumulative effectiveness counters.
 type CacheStats struct {
 	Hits, Misses, Entries uint64

@@ -106,6 +106,20 @@ type Config struct {
 	// content (see bmf.Cache). Sharing one cache across Approximate calls
 	// lets repeated or overlapping runs skip re-factorization entirely.
 	Cache bmf.Cache
+	// Checkpoint, when non-nil, receives a serializable ExplorerState after
+	// every committed exploration step, called synchronously from the
+	// exploring goroutine right after Progress. The state is a deep copy:
+	// safe to retain, serialize, or hand off. Feeding a checkpointed state
+	// back through Resume continues the walk from that step with
+	// bit-identical results.
+	Checkpoint func(ExplorerState)
+	// Resume, when non-nil, restores a previously checkpointed exploration:
+	// profiling still runs (deterministically, and cheaply under a warm
+	// Cache), the committed trajectory is replayed onto the evaluator, and
+	// the explorer continues at Resume.Step instead of step 0. The state
+	// must come from a run with a matching configuration (see
+	// ExplorerState.ConfigDigest).
+	Resume *ExplorerState
 	// DisableIncremental forces exploration candidates to be evaluated by
 	// materializing the whole substituted circuit and resimulating it
 	// (logic.ReplaceBlocks + a full qor comparison), exactly as Algorithm 1
@@ -546,13 +560,37 @@ func profileBlock(ctx context.Context, c *logic.Circuit, b partition.Block, colW
 // explore is Alg. 1's circuit-space exploration (lines 12–22).
 func explore(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
 	res.Frontier = newFrontier(res.AccurateModelArea)
-	res.Frontier.markCommitted(res.Frontier.add(FrontierPoint{
-		Step: -1, BlockIndex: -1, ModelArea: res.AccurateModelArea,
-	}))
-	if cfg.Lazy {
-		return exploreLazy(ctx, res, ce, cfg)
+	startStep := 0
+	if cfg.Resume != nil {
+		if err := resumeExplorer(res, ce, cfg, cfg.Resume); err != nil {
+			return err
+		}
+		startStep = cfg.Resume.Step
+		if thresholdReached(res, cfg) {
+			return nil // the original run had already stopped here
+		}
+	} else {
+		res.Frontier.markCommitted(res.Frontier.add(FrontierPoint{
+			Step: -1, BlockIndex: -1, ModelArea: res.AccurateModelArea,
+		}))
 	}
-	return exploreExhaustive(ctx, res, ce, cfg)
+	if cfg.Lazy {
+		return exploreLazy(ctx, res, ce, cfg, startStep)
+	}
+	return exploreExhaustive(ctx, res, ce, cfg, startStep)
+}
+
+// committedDegrees initializes the degree vector: accurate everywhere, then
+// the committed steps (empty unless resuming) applied on top.
+func committedDegrees(res *Result) []int {
+	degrees := make([]int, len(res.Profiles))
+	for bi, p := range res.Profiles {
+		degrees[bi] = p.MaxDegree()
+	}
+	for _, s := range res.Steps {
+		degrees[s.BlockIndex] = s.NewDegree
+	}
+	return degrees
 }
 
 // commitStep appends a committed exploration step and streams it to the
@@ -567,12 +605,8 @@ func (r *Result) commitStep(s Step, cfg Config) {
 // exploreLazy is the lazy-greedy variant: each candidate (block at its next
 // degree) keeps the error measured the last time it was evaluated; only the
 // smallest stale estimate is re-measured before committing.
-func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
-	nBlocks := len(res.Profiles)
-	degrees := make([]int, nBlocks)
-	for bi, p := range res.Profiles {
-		degrees[bi] = p.MaxDegree()
-	}
+func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config, startStep int) error {
+	degrees := committedDegrees(res)
 	type cand struct {
 		bi      int
 		err     float64
@@ -582,9 +616,22 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 	}
 	version := 0
 	var cands []*cand
-	for bi, p := range res.Profiles {
-		if p.MaxDegree()-1 >= 1 && len(p.Variants) >= p.MaxDegree()-1 {
-			cands = append(cands, &cand{bi: bi, err: -1, version: -1, ptIdx: -1})
+	if cfg.Resume != nil && cfg.Resume.Lazy != nil {
+		// Restore the candidate estimates in their checkpointed slice order:
+		// the order is load-bearing (sort.Slice tie-breaking), so a resumed
+		// run must see the same sequence the uninterrupted run had.
+		version = cfg.Resume.Lazy.Version
+		for _, lc := range cfg.Resume.Lazy.Candidates {
+			cands = append(cands, &cand{
+				bi: lc.BlockIndex, err: lc.Error, report: lc.Report,
+				version: lc.Version, ptIdx: lc.PointIndex,
+			})
+		}
+	} else {
+		for bi, p := range res.Profiles {
+			if p.MaxDegree()-1 >= 1 && len(p.Variants) >= p.MaxDegree()-1 {
+				cands = append(cands, &cand{bi: bi, err: -1, version: -1, ptIdx: -1})
+			}
 		}
 	}
 	shards := ce.shards(cfg.Workers)
@@ -619,7 +666,7 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		return nil
 	}
 
-	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+	for step := startStep; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -681,6 +728,16 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		// The committed block's next decrement inherits the fresh report as
 		// an optimistic estimate; everything else keeps its old estimate.
 		chosen.version = -1
+		if cfg.Checkpoint != nil {
+			ls := &LazyExplorerState{Version: version}
+			for _, cd := range cands {
+				ls.Candidates = append(ls.Candidates, LazyCandidate{
+					BlockIndex: cd.bi, Error: cd.err, Report: cd.report,
+					Version: cd.version, PointIndex: cd.ptIdx,
+				})
+			}
+			checkpoint(res, degrees, len(res.Steps), cfg, ls)
+		}
 		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
 			break
 		}
@@ -693,15 +750,11 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 // worker shards (runSweep) and reduced serially under the fixed
 // (error, area, block index) order, so every worker count commits the same
 // trajectory and records the same frontier.
-func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
-	nBlocks := len(res.Profiles)
-	degrees := make([]int, nBlocks) // current degree; MaxDegree = accurate
-	for bi, p := range res.Profiles {
-		degrees[bi] = p.MaxDegree()
-	}
+func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config, startStep int) error {
+	degrees := committedDegrees(res)
 	shards := ce.shards(cfg.Workers)
 
-	for step := 0; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
+	for step := startStep; cfg.MaxSteps == 0 || step < cfg.MaxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -756,6 +809,7 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 			Report:     chosen.report,
 			ModelArea:  res.modelArea(degrees),
 		}, cfg)
+		checkpoint(res, degrees, len(res.Steps), cfg, nil)
 		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
 			break
 		}
@@ -848,19 +902,29 @@ type TracePoint struct {
 	NewDegree     int
 }
 
+// stepTracePoint renders committed step i as a trade-off point — the single
+// mapping shared by Result.Trace and ExplorerState.TracePoints, so a trace
+// rebuilt from a checkpoint is field-for-field the trace the original run
+// streamed.
+func stepTracePoint(i int, s Step, accurateArea float64) TracePoint {
+	tp := TracePoint{
+		Step:        i,
+		AvgRel:      s.Report.AvgRel,
+		AvgAbs:      s.Report.AvgAbs,
+		NormAvgAbs:  s.Report.NormAvgAbs,
+		MeanHamming: s.Report.MeanHam,
+		BlockIndex:  s.BlockIndex,
+		NewDegree:   s.NewDegree,
+	}
+	if accurateArea > 0 {
+		tp.NormModelArea = s.ModelArea / accurateArea
+	}
+	return tp
+}
+
 // tracePointAt renders committed step i as a trade-off point.
 func (r *Result) tracePointAt(i int) TracePoint {
-	s := r.Steps[i]
-	return TracePoint{
-		Step:          i,
-		NormModelArea: s.ModelArea / r.AccurateModelArea,
-		AvgRel:        s.Report.AvgRel,
-		AvgAbs:        s.Report.AvgAbs,
-		NormAvgAbs:    s.Report.NormAvgAbs,
-		MeanHamming:   s.Report.MeanHam,
-		BlockIndex:    s.BlockIndex,
-		NewDegree:     s.NewDegree,
-	}
+	return stepTracePoint(i, r.Steps[i], r.AccurateModelArea)
 }
 
 // Trace renders the exploration as normalized trade-off points (the paper's

@@ -60,6 +60,19 @@ func newFrontier(accurateArea float64) *Frontier {
 	return &Frontier{accurateArea: accurateArea}
 }
 
+// RestoreFrontier rebuilds a frontier from previously recorded points (an
+// ExplorerState or a persisted result): points are replayed through the
+// incremental non-dominated-set maintenance in their stored order, which is
+// the deterministic evaluation order, so the restored frontier is identical
+// to the one that recorded the points.
+func RestoreFrontier(accurateArea float64, points []FrontierPoint) *Frontier {
+	f := newFrontier(accurateArea)
+	for _, p := range points {
+		f.add(p)
+	}
+	return f
+}
+
 // add records an evaluated point, maintaining the non-dominated subset, and
 // returns the point's index (for markCommitted).
 func (f *Frontier) add(p FrontierPoint) int {

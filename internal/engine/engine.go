@@ -19,11 +19,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/store"
 )
 
 // Errors returned by the engine's job-manager surface.
@@ -55,6 +59,20 @@ type Options struct {
 	// resident for status queries; the oldest terminal jobs are evicted
 	// beyond it. Queued and running jobs are never evicted. Default 1024.
 	RetainJobs int
+	// Store, when non-nil, makes the engine durable: submissions, state
+	// transitions, trace points, exploration checkpoints, and results are
+	// journaled as they happen, and New replays the store so completed jobs
+	// are served immediately after a restart. When Cache is nil, the store's
+	// tiered (memory over disk) factorization cache is used, so warm
+	// factorizations survive restarts too.
+	Store *store.Store
+	// Resume controls whether New re-enqueues jobs the store recorded as
+	// queued or running (each continues from its last exploration checkpoint,
+	// or step 0 without one). With Resume false such jobs are left on disk
+	// untouched; terminal jobs are always restored for serving.
+	Resume bool
+	// Logf sinks the engine's durability warnings (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -65,22 +83,33 @@ func (o Options) withDefaults() Options {
 		o.QueueSize = 64
 	}
 	if o.Cache == nil {
-		o.Cache = bmf.NewMemoryCache()
+		if o.Store != nil {
+			o.Cache = o.Store.TieredCache()
+		} else {
+			o.Cache = bmf.NewMemoryCache()
+		}
 	}
 	if o.RetainJobs <= 0 {
 		o.RetainJobs = 1024
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
 	}
 	return o
 }
 
 // Metrics is a snapshot of the engine's service counters.
 type Metrics struct {
-	JobsCompleted uint64         `json:"jobs_completed"`
-	JobsFailed    uint64         `json:"jobs_failed"`
-	JobsCancelled uint64         `json:"jobs_cancelled"`
-	JobsRunning   int64          `json:"jobs_running"`
-	QueueDepth    int            `json:"queue_depth"`
-	Cache         bmf.CacheStats `json:"cache"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsRunning   int64  `json:"jobs_running"`
+	QueueDepth    int    `json:"queue_depth"`
+	// JobsRestored counts terminal jobs loaded from the store at startup;
+	// JobsResumed counts interrupted jobs re-enqueued from the store.
+	JobsRestored uint64         `json:"jobs_restored,omitempty"`
+	JobsResumed  uint64         `json:"jobs_resumed,omitempty"`
+	Cache        bmf.CacheStats `json:"cache"`
 }
 
 // Engine runs BLASYS approximation jobs on a worker pool with a shared
@@ -101,20 +130,39 @@ type Engine struct {
 	wg    sync.WaitGroup
 
 	completed, failed, cancelled atomic.Uint64
+	restored, resumed            atomic.Uint64
 	running                      atomic.Int64
 }
 
-// New starts an engine with opts.Workers worker goroutines.
+// New starts an engine with opts.Workers worker goroutines. With a durable
+// store configured, the store is replayed first: terminal jobs are restored
+// for immediate serving and (with opts.Resume) interrupted jobs are
+// re-enqueued ahead of new submissions, each carrying its last exploration
+// checkpoint. Replay is best-effort — damaged jobs are skipped with a logged
+// warning, never failing engine startup.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	replayed, requeueCount := replayStore(opts)
 	e := &Engine{
 		opts:    opts,
 		cache:   opts.Cache,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, opts.QueueSize),
+		// Room for every re-enqueued job on top of the configured bound, so
+		// a full recovered backlog cannot deadlock startup.
+		queue: make(chan *Job, opts.QueueSize+requeueCount),
+	}
+	for _, job := range replayed {
+		e.jobs[job.ID] = job
+		e.order = append(e.order, job.ID)
+		if job.State() == StateQueued {
+			e.queue <- job
+			e.resumed.Add(1)
+		} else {
+			e.restored.Add(1)
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -130,26 +178,78 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if req.Circuit == nil {
 		return nil, fmt.Errorf("engine: nil circuit")
 	}
+	// Durable engines canonicalize provenance-free circuits through BLIF:
+	// the journal stores BLIF text and a resumed job re-parses it, and a
+	// BLIF round trip is equivalence- but not identity-preserving (node
+	// order shifts), which would change the decomposition and hence the
+	// walk. Running the canonical (parsed) form from the start makes the
+	// pre-restart and post-restart walks the same walk.
+	if e.opts.Store != nil && req.SourceBenchmark == "" && req.SourceBLIF == "" {
+		var sb strings.Builder
+		if err := blif.Write(&sb, req.Circuit); err != nil {
+			return nil, fmt.Errorf("engine: canonicalize circuit: %w", err)
+		}
+		circ, err := blif.Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return nil, fmt.Errorf("engine: canonicalize circuit: %w", err)
+		}
+		req.Circuit = circ
+		req.SourceBLIF = sb.String()
+	}
+	// Resolve the per-job parallelism NOW, not at run time: for durable
+	// engines the resolved value lands in the journal, so a restarted
+	// server with a different -workers flag (hence different
+	// JobParallelism) resumes the job under its original parallelism — a
+	// lazy walk's trajectory depends on it (see core.Config digest).
+	if req.Config.Parallelism <= 0 && e.opts.JobParallelism > 0 {
+		req.Config.Parallelism = e.opts.JobParallelism
+	}
 	job, err := newJob(req)
 	if err != nil {
 		return nil, err
 	}
+	// Cheap rejection pre-check so the overload path stays disk-free: a
+	// submission bound for ErrQueueFull/ErrClosed should not pay journal
+	// create+fsync+unlink — that would amplify exactly the overload the
+	// bounded queue exists to shed. The authoritative check repeats under
+	// the lock below.
+	e.mu.Lock()
+	closed, full := e.closed, len(e.queue) >= e.opts.QueueSize
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if full {
+		return nil, ErrQueueFull
+	}
+	// Journal the request and queued state BEFORE the job becomes runnable:
+	// once it is on the queue a worker may pick it up (and even finish it)
+	// immediately, and every subsequent persist call needs the journal to
+	// already exist or the job would replay as never-run after a restart.
+	e.persistSubmit(job)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		e.persistDiscard(job)
 		return nil, ErrClosed
 	}
-	select {
-	case e.queue <- job:
-		e.jobs[job.ID] = job
-		e.order = append(e.order, job.ID)
-		e.pruneLocked()
+	// Admission is bounded by QueueSize, not channel capacity: the channel
+	// gets extra headroom for a replayed backlog at startup, but that
+	// headroom must not let NEW submissions exceed the configured bound
+	// (nor compound across crash/restart cycles). Under e.mu the send
+	// cannot block: len < QueueSize <= cap, and all senders hold the lock.
+	if len(e.queue) >= e.opts.QueueSize {
 		e.mu.Unlock()
-		return job, nil
-	default:
-		e.mu.Unlock()
+		e.persistDiscard(job)
 		return nil, ErrQueueFull
 	}
+	e.queue <- job
+	e.jobs[job.ID] = job
+	e.order = append(e.order, job.ID)
+	evicted := e.pruneLocked()
+	e.mu.Unlock()
+	e.persistRemove(evicted)
+	return job, nil
 }
 
 // Get returns a job by ID.
@@ -192,10 +292,18 @@ func (e *Engine) Cancel(id string) (State, error) {
 	}
 	if job.cancelQueued() {
 		e.cancelled.Add(1)
+		e.persistState(job, StateCancelled, "cancelled while queued")
+		e.persistClose(job)
 		return StateCancelled, nil
 	}
 	job.mu.Lock()
 	state, cancel := job.state, job.cancel
+	if state == StateRunning {
+		// Remember this was an explicit cancellation: the worker journals it
+		// as terminal, unlike an engine-shutdown cancellation (which leaves
+		// the journal at "running" so a restart resumes the job).
+		job.userCancel = true
+	}
 	job.mu.Unlock()
 	if state == StateRunning && cancel != nil {
 		cancel() // the worker will record the cancelled state
@@ -204,9 +312,12 @@ func (e *Engine) Cancel(id string) (State, error) {
 	return state, nil
 }
 
-// pruneLocked evicts the oldest terminal jobs beyond the retention bound.
+// pruneLocked evicts the oldest terminal jobs beyond the retention bound and
+// returns their IDs so the caller can drop their store records too (outside
+// the lock — RetainJobs is the durable retention bound as well, or journals
+// would accumulate forever and evicted jobs would resurrect on restart).
 // Callers hold e.mu.
-func (e *Engine) pruneLocked() {
+func (e *Engine) pruneLocked() []string {
 	terminal := 0
 	for _, id := range e.order {
 		if e.jobs[id].State().Terminal() {
@@ -214,18 +325,21 @@ func (e *Engine) pruneLocked() {
 		}
 	}
 	if terminal <= e.opts.RetainJobs {
-		return
+		return nil
 	}
+	var evicted []string
 	kept := e.order[:0]
 	for _, id := range e.order {
 		if terminal > e.opts.RetainJobs && e.jobs[id].State().Terminal() {
 			delete(e.jobs, id)
+			evicted = append(evicted, id)
 			terminal--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	e.order = kept
+	return evicted
 }
 
 // Metrics snapshots the service counters.
@@ -236,6 +350,8 @@ func (e *Engine) Metrics() Metrics {
 		JobsCancelled: e.cancelled.Load(),
 		JobsRunning:   e.running.Load(),
 		QueueDepth:    len(e.queue),
+		JobsRestored:  e.restored.Load(),
+		JobsResumed:   e.resumed.Load(),
 		Cache:         e.cache.Stats(),
 	}
 }
@@ -272,11 +388,22 @@ func (e *Engine) run(job *Job) {
 	}
 	e.running.Add(1)
 	defer e.running.Add(-1)
+	e.persistState(job, StateRunning, "")
 
 	cc := &countingCache{inner: e.cache}
 	cfg := job.req.Config
 	cfg.Cache = cc
-	cfg.Progress = job.appendTrace
+	cfg.Progress = func(p core.TracePoint) {
+		job.appendTrace(p)
+		e.persistTrace(job, p)
+	}
+	cfg.Resume = job.resume
+	if e.opts.Store != nil {
+		cfg.Checkpoint = func(st core.ExplorerState) {
+			e.persistCheckpoint(job, &st)
+			job.publishCheckpoint(st.Step)
+		}
+	}
 	if cfg.Parallelism <= 0 && e.opts.JobParallelism > 0 {
 		cfg.Parallelism = e.opts.JobParallelism
 	}
@@ -286,12 +413,23 @@ func (e *Engine) run(job *Job) {
 	switch {
 	case err == nil:
 		e.completed.Add(1)
+		e.persistResult(job, res, hits, misses)
 		job.finish(StateDone, res, nil, hits, misses)
+		e.persistClose(job)
 	case errors.Is(err, context.Canceled):
 		e.cancelled.Add(1)
 		job.finish(StateCancelled, nil, err, hits, misses)
+		if job.wasUserCancelled() {
+			// Explicit cancellation is terminal on disk too. An engine
+			// shutdown leaves the journal at "running" (with the latest
+			// checkpoint beside it), so a restart resumes the job instead.
+			e.persistState(job, StateCancelled, err.Error())
+			e.persistClose(job)
+		}
 	default:
 		e.failed.Add(1)
 		job.finish(StateFailed, nil, err, hits, misses)
+		e.persistState(job, StateFailed, err.Error())
+		e.persistClose(job)
 	}
 }

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJobSubscribeReplaysHistoryAndStreamsTerminal(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	j, err := e.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	// Subscribing after completion replays state + trace and closes.
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	var states, traces int
+	for ev := range ch {
+		switch ev.Type {
+		case EventState:
+			states++
+			if ev.State != StateDone {
+				t.Fatalf("unexpected state event %+v", ev)
+			}
+			if ev.Result == nil {
+				t.Fatal("terminal state event carries no result summary")
+			}
+		case EventTrace:
+			traces++
+		}
+	}
+	if states != 1 {
+		t.Fatalf("got %d state events, want 1", states)
+	}
+	if want := len(j.Result().Steps); traces != want {
+		t.Fatalf("got %d trace events, want %d", traces, want)
+	}
+}
+
+func TestJobSubscribeLiveEvents(t *testing.T) {
+	e := New(Options{Workers: 1, Store: openStore(t, t.TempDir())})
+	defer e.Close()
+	j, err := e.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	var sawRunning, sawTrace, sawCheckpoint, sawDone bool
+	deadline := time.After(2 * time.Minute)
+	for !sawDone {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed before the terminal event")
+			}
+			switch ev.Type {
+			case EventState:
+				switch ev.State {
+				case StateRunning:
+					sawRunning = true
+				case StateDone:
+					sawDone = true
+				}
+			case EventTrace:
+				sawTrace = true
+			case EventCheckpoint:
+				sawCheckpoint = true
+			}
+		case <-deadline:
+			t.Fatal("no terminal event within deadline")
+		}
+	}
+	if !sawRunning || !sawTrace || !sawCheckpoint {
+		t.Fatalf("missing events: running=%t trace=%t checkpoint=%t", sawRunning, sawTrace, sawCheckpoint)
+	}
+	// After the terminal event the channel closes.
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after terminal event")
+	}
+}
+
+func TestServerEventsEndpointStreamsSSE(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	j, err := e.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var sawTraceEvent, sawDoneEvent bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: trace":
+			sawTraceEvent = true
+		case strings.HasPrefix(line, "data: ") && strings.Contains(line, `"state":"done"`):
+			sawDoneEvent = true
+		}
+		if sawDoneEvent {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !sawTraceEvent || !sawDoneEvent {
+		t.Fatalf("stream missing events: trace=%t done=%t", sawTraceEvent, sawDoneEvent)
+	}
+
+	if resp, err := http.Get(srv.URL + "/v1/jobs/nope/events"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing job events status = %d", resp.StatusCode)
+		}
+	}
+}

@@ -5,14 +5,17 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/store"
 )
 
 // State is a job's lifecycle stage. Transitions are linear:
@@ -36,12 +39,22 @@ func (s State) Terminal() bool {
 
 // Request is one unit of work for the engine: a circuit, its output
 // interpretation, and the flow configuration. The engine overrides the
-// Config's Cache and Progress fields to wire in the shared factorization
-// cache and the per-job trace stream.
+// Config's Cache, Progress, Checkpoint, and Resume fields to wire in the
+// shared factorization cache and the per-job streams.
 type Request struct {
 	Circuit *logic.Circuit
 	Spec    qor.OutputSpec
 	Config  core.Config
+
+	// SourceBenchmark and SourceBLIF record the circuit's provenance for
+	// the durable store (at most one set): a restarted process then rebuilds
+	// the identical circuit — same node order, same decomposition, same
+	// exploration walk — rather than an equivalent re-serialization. The
+	// HTTP server fills these from the submission; programmatic callers may
+	// leave both empty, in which case Circuit is serialized to BLIF when
+	// journaling.
+	SourceBenchmark string
+	SourceBLIF      string
 }
 
 // Job tracks one submitted approximation run.
@@ -58,10 +71,35 @@ type Job struct {
 	err      error
 	cancel   context.CancelFunc
 
+	// userCancel marks an explicit Cancel of a running job, distinguishing
+	// it from an engine-shutdown cancellation for the durable store.
+	userCancel bool
+
+	// subs holds live event subscribers (see Subscribe).
+	subs    map[int]chan Event
+	nextSub int
+
 	req  Request
 	done chan struct{}
 
+	// jnl is the job's store journal (nil without a store).
+	jnl *store.Journal
+	// resume is the exploration checkpoint a replayed job continues from.
+	resume *core.ExplorerState
+	// restored carries a finished job's outcome as replayed from the store
+	// after a restart, standing in for result.
+	restored *restoredResult
+
 	cacheHits, cacheMisses uint64
+}
+
+// restoredResult is a done job's persisted outcome, rebuilt from the store:
+// enough to serve status, trace, frontier, and netlist downloads without
+// re-running the flow.
+type restoredResult struct {
+	rec      *store.ResultRecord
+	circuit  *logic.Circuit // parsed lazily from rec.BestBLIF
+	frontier *core.Frontier // rebuilt lazily from rec.Frontier
 }
 
 func newJob(req Request) (*Job, error) {
@@ -89,6 +127,7 @@ func (j *Job) markRunning(cancel context.CancelFunc) bool {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.publishLocked(Event{Type: EventState, State: StateRunning})
 	return true
 }
 
@@ -100,8 +139,18 @@ func (j *Job) finish(state State, res *core.Result, err error, hits, misses uint
 	j.err = err
 	j.finished = time.Now()
 	j.cacheHits, j.cacheMisses = hits, misses
+	j.publishTerminalLocked(j.stateEventLocked())
+	j.closeSubsLocked()
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// wasUserCancelled reports whether a running job's cancellation came from an
+// explicit Cancel call (vs engine shutdown).
+func (j *Job) wasUserCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
 }
 
 // cancelQueued marks a still-queued job cancelled; the worker that later
@@ -114,6 +163,8 @@ func (j *Job) cancelQueued() bool {
 	}
 	j.state = StateCancelled
 	j.finished = time.Now()
+	j.publishTerminalLocked(j.stateEventLocked())
+	j.closeSubsLocked()
 	close(j.done)
 	return true
 }
@@ -121,6 +172,8 @@ func (j *Job) cancelQueued() bool {
 func (j *Job) appendTrace(p core.TracePoint) {
 	j.mu.Lock()
 	j.trace = append(j.trace, p)
+	tp := p
+	j.publishLocked(Event{Type: EventTrace, Trace: &tp})
 	j.mu.Unlock()
 }
 
@@ -209,28 +262,120 @@ func (j *Job) Snapshot(withTrace bool) Status {
 	if withTrace && len(j.trace) > 0 {
 		st.Trace = append([]core.TracePoint(nil), j.trace...)
 	}
-	if j.state == StateDone && j.result != nil {
-		sum := &ResultSummary{
-			BestStep:          j.result.BestStep,
-			Steps:             len(j.result.Steps),
-			AccurateModelArea: j.result.AccurateModelArea,
-			BestNormArea:      1,
-		}
-		if j.result.BestStep >= 0 {
-			s := j.result.Steps[j.result.BestStep]
-			if j.result.AccurateModelArea > 0 {
-				sum.BestNormArea = s.ModelArea / j.result.AccurateModelArea
-			}
-			rep := s.Report
-			sum.BestReport = &rep
-		}
-		if f := j.result.Frontier; f != nil {
-			sum.EvaluatedPoints = f.Size()
-			sum.ParetoPoints = len(f.Front())
-		}
-		st.Result = sum
-	}
+	st.Result = j.resultSummaryLocked()
 	return st
+}
+
+// resultSummaryLocked condenses the job's outcome — live result or restored
+// record — into a summary; nil unless the job finished successfully. Callers
+// hold j.mu.
+func (j *Job) resultSummaryLocked() *ResultSummary {
+	if j.state != StateDone {
+		return nil
+	}
+	var (
+		bestStep int
+		steps    []core.Step
+		accArea  float64
+		frontier *core.Frontier
+	)
+	switch {
+	case j.result != nil:
+		bestStep, steps, accArea = j.result.BestStep, j.result.Steps, j.result.AccurateModelArea
+		frontier = j.result.Frontier
+	case j.restored != nil:
+		rec := j.restored.rec
+		bestStep, steps, accArea = rec.BestStep, rec.Steps, rec.AccurateModelArea
+		frontier = j.restored.frontierLocked()
+	default:
+		return nil
+	}
+	sum := &ResultSummary{
+		BestStep:          bestStep,
+		Steps:             len(steps),
+		AccurateModelArea: accArea,
+		BestNormArea:      1,
+	}
+	if bestStep >= 0 && bestStep < len(steps) {
+		s := steps[bestStep]
+		if accArea > 0 {
+			sum.BestNormArea = s.ModelArea / accArea
+		}
+		rep := s.Report
+		sum.BestReport = &rep
+	}
+	if frontier != nil {
+		sum.EvaluatedPoints = frontier.Size()
+		sum.ParetoPoints = len(frontier.Front())
+	}
+	return sum
+}
+
+// frontierLocked lazily rebuilds the restored frontier. Callers hold the
+// owning job's mutex.
+func (r *restoredResult) frontierLocked() *core.Frontier {
+	if r.frontier == nil {
+		r.frontier = r.rec.RestoreFrontier()
+	}
+	return r.frontier
+}
+
+// BestCircuit returns the chosen approximate netlist of a done job, whether
+// computed in this process or restored from the durable store.
+func (j *Job) BestCircuit() (*logic.Circuit, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.result != nil:
+		return j.result.BestCircuit()
+	case j.restored != nil:
+		if j.restored.circuit == nil {
+			c, err := j.restored.rec.BestCircuit()
+			if err != nil {
+				return nil, err
+			}
+			j.restored.circuit = c
+		}
+		return j.restored.circuit, nil
+	}
+	return nil, fmt.Errorf("engine: job %s has no result", j.ID)
+}
+
+// ResultBLIF returns the chosen approximate netlist as BLIF text. This is
+// the restart-stable artifact: for a job restored from the store it is the
+// journaled text verbatim, and for a live job it is a fresh render of the
+// same circuit — so the bytes a client downloads do not change across
+// process restarts.
+func (j *Job) ResultBLIF() (string, error) {
+	j.mu.Lock()
+	restored := j.restored
+	j.mu.Unlock()
+	if restored != nil {
+		return restored.rec.BestBLIF, nil
+	}
+	circ, err := j.BestCircuit()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if err := blif.Write(&sb, circ); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Frontier returns the job's recorded accuracy/area frontier (nil while the
+// job is unfinished or when none was recorded).
+func (j *Job) Frontier() *core.Frontier {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.result != nil:
+		return j.result.Frontier
+	case j.restored != nil:
+		return j.restored.frontierLocked()
+	}
+	return nil
 }
 
 // countingCache wraps the engine's shared cache with per-job hit/miss

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/store"
+)
+
+// This file is the engine's durability glue: journaling job facts into the
+// store as they happen and replaying the store into live jobs at startup.
+// Every persist helper is a no-op without a store and degrades to a logged
+// warning on I/O errors — the in-memory service keeps working when the disk
+// misbehaves; durability is best-effort, correctness is not.
+
+// persistSubmit journals a new job's request and queued state.
+func (e *Engine) persistSubmit(job *Job) {
+	if e.opts.Store == nil {
+		return
+	}
+	if job.req.Config.Lib != nil {
+		// ConfigRecord cannot journal a library; a restarted run would use
+		// the default one. The ConfigDigest hashes library content, so a
+		// checkpointed resume fails loudly rather than diverging silently —
+		// warn at submit time so the operator knows why.
+		e.opts.Logf("engine: job %s uses a custom technology library, which the store cannot journal; the job will not resume across a restart", job.ID)
+	}
+	req, err := store.NewRequestRecord(job.req.Circuit, job.req.Spec, job.req.Config,
+		job.req.SourceBenchmark, job.req.SourceBLIF)
+	if err != nil {
+		e.opts.Logf("engine: journal %s request: %v (job will not survive a restart)", job.ID, err)
+		return
+	}
+	jnl, err := e.opts.Store.Journal(job.ID)
+	if err != nil {
+		e.opts.Logf("engine: journal %s: %v (job will not survive a restart)", job.ID, err)
+		return
+	}
+	job.mu.Lock()
+	job.jnl = jnl
+	job.mu.Unlock()
+	if err := jnl.Request(req); err != nil {
+		e.opts.Logf("engine: journal %s request: %v", job.ID, err)
+	}
+	if err := jnl.State(string(StateQueued), ""); err != nil {
+		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+	}
+}
+
+// persistDiscard undoes persistSubmit for a submission rejected after its
+// request was journaled (queue full, engine closed): without this the
+// rejected job would replay as queued on the next restart.
+func (e *Engine) persistDiscard(job *Job) {
+	if e.opts.Store == nil {
+		return
+	}
+	job.mu.Lock()
+	job.jnl = nil
+	job.mu.Unlock()
+	if err := e.opts.Store.Remove(job.ID); err != nil {
+		e.opts.Logf("engine: discard %s: %v", job.ID, err)
+	}
+}
+
+// persistRemove drops the store records of jobs evicted past the retention
+// bound.
+func (e *Engine) persistRemove(ids []string) {
+	if e.opts.Store == nil {
+		return
+	}
+	for _, id := range ids {
+		if err := e.opts.Store.Remove(id); err != nil {
+			e.opts.Logf("engine: evict %s: %v", id, err)
+		}
+	}
+}
+
+func (j *Job) journal() *store.Journal {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.jnl
+}
+
+// persistState journals a lifecycle transition.
+func (e *Engine) persistState(job *Job, state State, jobErr string) {
+	jnl := job.journal()
+	if jnl == nil {
+		return
+	}
+	if err := jnl.State(string(state), jobErr); err != nil {
+		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+	}
+}
+
+// persistTrace journals one committed trace point.
+func (e *Engine) persistTrace(job *Job, p core.TracePoint) {
+	jnl := job.journal()
+	if jnl == nil {
+		return
+	}
+	if err := jnl.Trace(p); err != nil {
+		e.opts.Logf("engine: journal %s trace: %v", job.ID, err)
+	}
+}
+
+// persistCheckpoint atomically replaces the job's exploration snapshot.
+func (e *Engine) persistCheckpoint(job *Job, st *core.ExplorerState) {
+	if e.opts.Store == nil {
+		return
+	}
+	if err := e.opts.Store.WriteCheckpoint(job.ID, st); err != nil {
+		e.opts.Logf("engine: checkpoint %s: %v", job.ID, err)
+	}
+}
+
+// persistResult journals a finished job's result and done state, and drops
+// the now-superseded checkpoint snapshot.
+func (e *Engine) persistResult(job *Job, res *core.Result, hits, misses uint64) {
+	jnl := job.journal()
+	if jnl == nil {
+		return
+	}
+	rec, err := store.NewResultRecord(res)
+	if err != nil {
+		e.opts.Logf("engine: journal %s result: %v (result will not survive a restart)", job.ID, err)
+		return
+	}
+	if err := jnl.Result(rec, hits, misses); err != nil {
+		e.opts.Logf("engine: journal %s result: %v", job.ID, err)
+	}
+	if err := jnl.State(string(StateDone), ""); err != nil {
+		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+	}
+}
+
+// persistClose closes a terminal job's journal, releasing its descriptor,
+// and drops the now-superseded checkpoint snapshot (every terminal path —
+// done, failed, user-cancelled — ends here; the journal's terminal record
+// is what survives).
+func (e *Engine) persistClose(job *Job) {
+	jnl := job.journal()
+	if jnl == nil {
+		return
+	}
+	job.mu.Lock()
+	job.jnl = nil
+	job.mu.Unlock()
+	if err := jnl.Close(); err != nil {
+		e.opts.Logf("engine: journal %s close: %v", job.ID, err)
+	}
+	if err := e.opts.Store.RemoveCheckpoint(job.ID); err != nil {
+		e.opts.Logf("engine: checkpoint %s: %v", job.ID, err)
+	}
+}
+
+// replayStore folds the store into live jobs: terminal jobs become
+// immediately-servable restored jobs; queued/running jobs become queued jobs
+// carrying their last exploration checkpoint (with opts.Resume; otherwise
+// they are left on disk untouched). The returned slice is in creation order;
+// requeueCount is the number of jobs in StateQueued.
+func replayStore(opts Options) (jobs []*Job, requeueCount int) {
+	if opts.Store == nil {
+		return nil, 0
+	}
+	recs, err := opts.Store.Replay()
+	if err != nil {
+		opts.Logf("engine: store replay: %v (starting empty)", err)
+		return nil, 0
+	}
+	for _, rec := range recs {
+		switch {
+		case rec.Terminal():
+			jobs = append(jobs, restoreTerminalJob(rec))
+		case opts.Resume:
+			job, err := requeueJob(opts, rec)
+			if err != nil {
+				opts.Logf("engine: resume %s: %v (leaving job on disk)", rec.ID, err)
+				continue
+			}
+			jobs = append(jobs, job)
+			requeueCount++
+		}
+	}
+	return jobs, requeueCount
+}
+
+// restoreTerminalJob rebuilds a finished job for serving: status, trace, and
+// (for done jobs) the persisted result record.
+func restoreTerminalJob(rec *store.JobRecord) *Job {
+	j := &Job{
+		ID:       rec.ID,
+		state:    State(rec.State),
+		created:  rec.Created,
+		started:  rec.Started,
+		finished: rec.Finished,
+		trace:    rec.Trace,
+		done:     make(chan struct{}),
+	}
+	j.cacheHits, j.cacheMisses = rec.CacheHits, rec.CacheMisses
+	if rec.Error != "" {
+		j.err = errRestored(rec.Error)
+	}
+	if rec.Result != nil {
+		j.restored = &restoredResult{rec: rec.Result}
+	}
+	close(j.done)
+	return j
+}
+
+// errRestored wraps a journaled error message back into an error.
+type errRestored string
+
+func (e errRestored) Error() string { return string(e) }
+
+// requeueJob rebuilds an interrupted job and prepares it to run again under
+// its original ID, resuming from its checkpoint when one survived (a job
+// journaled as running with no checkpoint simply restarts from step 0 — the
+// journal's trace points are superseded by the rerun, so they are dropped).
+func requeueJob(opts Options, rec *store.JobRecord) (*Job, error) {
+	circ, spec, cfg, err := rec.Request.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:      rec.ID,
+		state:   StateQueued,
+		created: rec.Created,
+		req: Request{
+			Circuit:         circ,
+			Spec:            spec,
+			Config:          cfg,
+			SourceBenchmark: rec.Request.Benchmark,
+			SourceBLIF:      rec.Request.CircuitBLIF,
+		},
+		done:   make(chan struct{}),
+		resume: rec.Checkpoint,
+	}
+	if rec.Checkpoint != nil {
+		// Rebuild the trace the original process had streamed; the resumed
+		// run's Progress hook appends from the checkpointed step onward.
+		j.trace = rec.Checkpoint.TracePoints()
+	}
+	jnl, err := opts.Store.Journal(rec.ID)
+	if err != nil {
+		return nil, err
+	}
+	j.jnl = jnl
+	return j, nil
+}

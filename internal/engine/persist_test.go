@@ -1,0 +1,500 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// persistCfg is a small but multi-step exploration, fully deterministic.
+func persistCfg() core.Config {
+	return core.Config{K: 4, M: 3, Samples: 1 << 8, Seed: 11, ExploreFully: true, MaxSteps: 6}
+}
+
+// slowCfg is a longer walk for the interruption tests: the gap between the
+// first checkpoint and completion must be wide enough to land a kill in.
+func slowCfg() core.Config {
+	return core.Config{K: 4, M: 3, Samples: 1 << 10, Seed: 11, ExploreFully: true, MaxSteps: 12}
+}
+
+// blifBytes fetches the job's restart-stable result netlist.
+func blifBytes(t *testing.T, j *Job) []byte {
+	t.Helper()
+	text, err := j.ResultBLIF()
+	if err != nil {
+		t.Fatalf("ResultBLIF: %v", err)
+	}
+	return []byte(text)
+}
+
+func TestRestartServesCompletedJob(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Options{Workers: 1, Store: openStore(t, dir)})
+	j1, err := e1.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	if j1.State() != StateDone {
+		t.Fatalf("job: %s (%v)", j1.State(), j1.Err())
+	}
+	wantBLIF := blifBytes(t, j1)
+	wantStatus := j1.Snapshot(true)
+	wantFront := j1.Frontier().Front()
+	e1.Close()
+
+	// A fresh engine over the same store — the restarted process — serves
+	// the finished job immediately, without re-running anything.
+	e2 := New(Options{Workers: 1, Store: openStore(t, dir), Resume: true})
+	defer e2.Close()
+	if m := e2.Metrics(); m.JobsRestored != 1 || m.JobsResumed != 0 {
+		t.Fatalf("metrics after restart: %+v", m)
+	}
+	j2, err := e2.Get(j1.ID)
+	if err != nil {
+		t.Fatalf("restored job lost: %v", err)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("restored state = %s", j2.State())
+	}
+	gotStatus := j2.Snapshot(true)
+	if !reflect.DeepEqual(wantStatus.Result, gotStatus.Result) {
+		t.Fatalf("restored summary diverged:\nwant %+v\ngot  %+v", wantStatus.Result, gotStatus.Result)
+	}
+	if !reflect.DeepEqual(wantStatus.Trace, gotStatus.Trace) {
+		t.Fatalf("restored trace diverged (%d vs %d points)", len(wantStatus.Trace), len(gotStatus.Trace))
+	}
+	if got := blifBytes(t, j2); !bytes.Equal(wantBLIF, got) {
+		t.Fatalf("restored netlist is not byte-identical:\nwant:\n%s\ngot:\n%s", wantBLIF, got)
+	}
+	if gotFront := j2.Frontier().Front(); !reflect.DeepEqual(wantFront, gotFront) {
+		t.Fatalf("restored frontier diverged")
+	}
+}
+
+// interruptMidRun submits a job to a durable engine and closes the engine as
+// runReference runs req to completion on a durable engine and returns the
+// job plus its journaled request record (the canonical form a restart
+// materializes). The engine is closed before returning.
+func runReference(t *testing.T, dir string, req Request) (*Job, *store.RequestRecord) {
+	t.Helper()
+	st := openStore(t, dir)
+	e := New(Options{Workers: 1, Store: st})
+	j, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("reference job: %s (%v)", j.State(), j.Err())
+	}
+	e.Close()
+	recs, err := st.Replay()
+	if err != nil {
+		t.Fatalf("replay reference store: %v", err)
+	}
+	for _, rec := range recs {
+		if rec.ID == j.ID {
+			return j, rec.Request
+		}
+	}
+	t.Fatalf("reference job %s not in its own store", j.ID)
+	return nil, nil
+}
+
+// interruptedStore fabricates the exact on-disk state a process killed
+// mid-exploration leaves behind: a journal ending at "running" (request,
+// state transitions, the trace streamed so far) plus the atomically-written
+// checkpoint snapshot of the walk through step k. The walk is re-derived
+// deterministically at the core level from the journaled request record —
+// byte-for-byte the state the dying process had persisted. (A live-kill
+// variant cannot be timed reliably on a single-CPU runner; the CI
+// serve-smoke script kills a real blasys-serve process instead.)
+func interruptedStore(t *testing.T, dir, id string, req *store.RequestRecord, k int) {
+	t.Helper()
+	circ, spec, cfg, err := req.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	var states []core.ExplorerState
+	cfg.Checkpoint = func(st core.ExplorerState) { states = append(states, st) }
+	if _, err := core.Approximate(circ, spec, cfg); err != nil {
+		t.Fatalf("derive checkpoints: %v", err)
+	}
+	if k >= len(states) {
+		t.Fatalf("walk has only %d checkpoints, wanted step %d", len(states), k)
+	}
+	st := openStore(t, dir)
+	jnl, err := st.Journal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Request(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.State("queued", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.State("running", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range states[k].TracePoints() {
+		if err := jnl.Trace(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteCheckpoint(id, &states[k]); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillMidRunResumeIsByteIdenticalToUninterrupted(t *testing.T) {
+	// Reference: the identical job, uninterrupted (its own store).
+	jRef, reqRec := runReference(t, t.TempDir(), adderRequest(t, 5, slowCfg()))
+	wantBLIF := blifBytes(t, jRef)
+	wantSteps := jRef.Result().Steps
+	wantPoints := jRef.Frontier().Points()
+
+	// Interrupted run: the store holds the state a kill after step 2 leaves.
+	dir := t.TempDir()
+	interruptedStore(t, dir, "job-interrupted", reqRec, 2)
+
+	e2 := New(Options{Workers: 1, Store: openStore(t, dir), Resume: true})
+	defer e2.Close()
+	if m := e2.Metrics(); m.JobsResumed != 1 {
+		t.Fatalf("interrupted job not resumed: metrics %+v", m)
+	}
+	j2, err := e2.Get("job-interrupted")
+	if err != nil {
+		t.Fatalf("interrupted job not requeued: %v", err)
+	}
+	waitDone(t, j2)
+	if j2.State() != StateDone {
+		t.Fatalf("resumed job: %s (%v)", j2.State(), j2.Err())
+	}
+	res := j2.Result()
+	if res == nil {
+		t.Fatal("resumed job has no live result")
+	}
+	if !reflect.DeepEqual(wantSteps, res.Steps) {
+		t.Fatalf("resumed trajectory diverged from uninterrupted run:\nwant %+v\ngot  %+v", wantSteps, res.Steps)
+	}
+	if !reflect.DeepEqual(wantPoints, res.Frontier.Points()) {
+		t.Fatalf("resumed frontier diverged from uninterrupted run")
+	}
+	if got := blifBytes(t, j2); !bytes.Equal(wantBLIF, got) {
+		t.Fatalf("resumed netlist is not byte-identical to the uninterrupted run")
+	}
+	// The resumed trace must cover the whole walk, not only the tail.
+	if st := j2.Snapshot(true); len(st.Trace) != len(res.Steps) {
+		t.Fatalf("resumed trace has %d points for %d steps", len(st.Trace), len(res.Steps))
+	}
+}
+
+func TestRestartRunningJobWithoutCheckpointRestartsFromStepZero(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	// Hand-write the journal of a job that died mid-run before any
+	// checkpoint: request + running, nothing else.
+	req := adderRequest(t, 4, persistCfg())
+	rr, err := store.NewRequestRecord(req.Circuit, req.Spec, req.Config, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl, err := st.Journal("job-nocp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Request(rr); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.State("running", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Options{Workers: 1, Store: st, Resume: true})
+	defer e.Close()
+	if m := e.Metrics(); m.JobsResumed != 1 {
+		t.Fatalf("metrics = %+v, want one resumed job", m)
+	}
+	j, err := e.Get("job-nocp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("job: %s (%v)", j.State(), j.Err())
+	}
+	res := j.Result()
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("restarted job produced no steps")
+	}
+	// From step 0: the trace covers every committed step.
+	if snap := j.Snapshot(true); len(snap.Trace) != len(res.Steps) {
+		t.Fatalf("trace %d points for %d steps", len(snap.Trace), len(res.Steps))
+	}
+}
+
+func TestRestartSkipsCorruptJournalRecordsButServesJob(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Options{Workers: 1, Store: openStore(t, dir)})
+	j1, err := e1.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	wantBLIF := blifBytes(t, j1)
+	e1.Close()
+
+	// Corrupt the journal mid-file: inject garbage between valid records.
+	path := filepath.Join(dir, "jobs", j1.ID+".journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal unexpectedly short: %d lines", len(lines))
+	}
+	var corrupted bytes.Buffer
+	corrupted.Write(lines[0])
+	corrupted.WriteString("{\"type\":\"trace\",\"trace\":{truncated\n")
+	for _, l := range lines[1:] {
+		corrupted.Write(l)
+	}
+	if err := os.WriteFile(path, corrupted.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	st2 := openStore(t, dir)
+	st2.SetLogger(func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	e2 := New(Options{Workers: 1, Store: st2, Resume: true})
+	defer e2.Close()
+	j2, err := e2.Get(j1.ID)
+	if err != nil {
+		t.Fatalf("job lost to one corrupt line: %v", err)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("state = %s, want done", j2.State())
+	}
+	if got := blifBytes(t, j2); !bytes.Equal(wantBLIF, got) {
+		t.Fatal("result netlist diverged after corrupt-line replay")
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "skipping record") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupt line skipped without a warning; warnings = %q", warnings)
+	}
+}
+
+func TestCancelDuringResume(t *testing.T) {
+	_, reqRec := runReference(t, t.TempDir(), adderRequest(t, 5, slowCfg()))
+	dir := t.TempDir()
+	const id = "job-cancel-resume"
+	interruptedStore(t, dir, id, reqRec, 1)
+
+	// Restart and cancel the resumed job straight away — it is either still
+	// queued or already running; both paths must journal a terminal
+	// cancellation.
+	e2 := New(Options{Workers: 1, Store: openStore(t, dir), Resume: true})
+	if m := e2.Metrics(); m.JobsResumed != 1 {
+		e2.Close()
+		t.Fatalf("interrupted job not resumed: metrics %+v", m)
+	}
+	j2, err := e2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Cancel(id); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := j2.Wait(ctx); err != nil {
+		t.Fatalf("cancelled job did not settle: %v", err)
+	}
+	if j2.State() != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", j2.State())
+	}
+	e2.Close()
+
+	// The superseded checkpoint snapshot is dropped on every terminal path,
+	// cancellation included.
+	if cp, err := openStore(t, dir).ReadCheckpoint(id); err != nil || cp != nil {
+		t.Fatalf("checkpoint survived cancellation: cp=%v err=%v", cp, err)
+	}
+
+	// Third start: the cancellation is durable — the job is restored as
+	// cancelled, not resumed again.
+	e3 := New(Options{Workers: 1, Store: openStore(t, dir), Resume: true})
+	defer e3.Close()
+	if m := e3.Metrics(); m.JobsResumed != 0 || m.JobsRestored != 1 {
+		t.Fatalf("metrics after third start: %+v", m)
+	}
+	j3, err := e3.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.State() != StateCancelled {
+		t.Fatalf("third-start state = %s, want cancelled", j3.State())
+	}
+}
+
+func TestRejectedSubmissionLeavesNoStoreRecord(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	e := New(Options{Workers: 1, QueueSize: 1, Store: st})
+	// Saturate the single worker and the 1-slot queue, then overflow.
+	var jobs []*Job
+	var rejected int
+	for i := 0; i < 6; i++ {
+		j, err := e.Submit(adderRequest(t, 4, persistCfg()))
+		switch err {
+		case nil:
+			jobs = append(jobs, j)
+		case ErrQueueFull:
+			rejected++
+		default:
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	e.Close()
+
+	recs, err := st.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(jobs) {
+		t.Fatalf("store replays %d jobs, want %d accepted (rejected %d must leave no record)",
+			len(recs), len(jobs), rejected)
+	}
+	// Every accepted job's journal must have progressed past "queued": the
+	// journal is opened before the job becomes runnable, so even
+	// milliseconds-fast jobs record their run.
+	for _, rec := range recs {
+		if rec.State != "done" {
+			t.Fatalf("job %s replays as %q, want done", rec.ID, rec.State)
+		}
+	}
+}
+
+func TestEvictionRemovesStoreRecords(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	e := New(Options{Workers: 1, RetainJobs: 2, Store: st})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := e.Submit(adderRequest(t, 4, persistCfg()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		ids = append(ids, j.ID)
+	}
+	e.Close()
+
+	// RetainJobs bounds the durable record too: a restart must not
+	// resurrect evicted jobs.
+	e2 := New(Options{Workers: 1, RetainJobs: 2, Store: openStore(t, dir), Resume: true})
+	defer e2.Close()
+	if m := e2.Metrics(); m.JobsRestored > 3 {
+		t.Fatalf("restart restored %d jobs; eviction did not remove store records", m.JobsRestored)
+	}
+	for _, id := range ids[:2] {
+		if _, err := e2.Get(id); err == nil {
+			t.Fatalf("evicted job %s resurrected after restart", id)
+		}
+	}
+	if _, err := e2.Get(ids[len(ids)-1]); err != nil {
+		t.Fatalf("retained job lost: %v", err)
+	}
+}
+
+func TestReplayedBacklogDoesNotRaiseQueueBound(t *testing.T) {
+	_, reqRec := runReference(t, t.TempDir(), adderRequest(t, 5, slowCfg()))
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		interruptedStore(t, dir, fmt.Sprintf("job-backlog-%d", i), reqRec, 1)
+	}
+
+	// QueueSize 1, but three interrupted jobs re-enqueue into reserved
+	// headroom. New submissions must still be bounded at QueueSize — the
+	// headroom exists only to drain the recovered backlog, and must not
+	// compound the admission bound across crash/restart cycles.
+	e := New(Options{Workers: 1, QueueSize: 1, Store: openStore(t, dir), Resume: true})
+	defer e.Close()
+	if m := e.Metrics(); m.JobsResumed != 3 {
+		t.Fatalf("metrics %+v, want 3 resumed", m)
+	}
+	if _, err := e.Submit(adderRequest(t, 4, persistCfg())); err != ErrQueueFull {
+		t.Fatalf("Submit while the recovered backlog fills the queue: err=%v, want ErrQueueFull", err)
+	}
+}
+
+func TestWarmDiskCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Options{Workers: 1, Store: openStore(t, dir)})
+	j1, err := e1.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	misses1 := j1.Snapshot(false).CacheMisses
+	e1.Close()
+
+	// Same job on a restarted engine: every factorization should come out
+	// of the disk cache.
+	e2 := New(Options{Workers: 1, Store: openStore(t, dir), Resume: true})
+	defer e2.Close()
+	j2, err := e2.Submit(adderRequest(t, 4, persistCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	snap := j2.Snapshot(false)
+	if misses1 == 0 {
+		t.Skip("first run had no cache misses; nothing to measure")
+	}
+	if snap.CacheMisses != 0 {
+		t.Fatalf("restarted run missed the disk cache %d times (first run: %d misses, warm hits %d)",
+			snap.CacheMisses, misses1, snap.CacheHits)
+	}
+	if snap.CacheHits == 0 {
+		t.Fatal("restarted run recorded no cache hits")
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -30,6 +31,11 @@ const maxRequestBody = 16 << 20
 //	GET    /v1/jobs/{id}/frontier   accuracy/area Pareto frontier
 //	                                (?points=1 adds every evaluated point,
 //	                                ?format=csv switches to CSV)
+//	GET    /v1/jobs/{id}/events     live progress as Server-Sent Events:
+//	                                state transitions, per-step trace
+//	                                points, checkpoint notices; history is
+//	                                replayed first, the stream ends with
+//	                                the terminal state event
 //	GET    /healthz                 liveness
 //	GET    /metrics                 Prometheus text format
 type Server struct {
@@ -49,6 +55,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result.v", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/frontier", s.handleFrontier)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -114,6 +121,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	var job Request
 	job.Config = cfg
+	// Record the circuit's provenance so the durable store re-materializes
+	// the identical circuit after a restart.
+	job.SourceBenchmark = req.Benchmark
+	job.SourceBLIF = req.BLIF
 	if req.Benchmark != "" {
 		bm, err := bench.ByName(req.Benchmark)
 		if err != nil {
@@ -216,20 +227,30 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	circ, err := j.Result().BestCircuit()
+	// Serve from the restart-stable BLIF text (the journaled artifact for
+	// restored jobs), so downloads are byte-identical across restarts; the
+	// Verilog form is derived from that same text for the same reason.
+	text, err := j.ResultBLIF()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rebuild circuit: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if strings.HasSuffix(r.URL.Path, ".v") {
-		err = verilog.Write(w, circ)
-	} else {
-		err = blif.Write(w, circ)
+		circ, err := blif.Read(strings.NewReader(text))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "rebuild circuit: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := verilog.Write(w, circ); err != nil {
+			// The 200 header is already out; the truncated body is the best
+			// signal left.
+			fmt.Fprintf(w, "\n# error: %v\n", err)
+		}
+		return
 	}
-	if err != nil {
-		// The 200 header is already out; the truncated body is the best
-		// signal left.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := io.WriteString(w, text); err != nil {
 		fmt.Fprintf(w, "\n# error: %v\n", err)
 	}
 }
@@ -249,7 +270,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	f := j.Result().Frontier
+	f := j.Frontier()
 	if f == nil {
 		writeError(w, http.StatusNotFound, "job %s recorded no frontier", j.ID)
 		return
@@ -272,6 +293,57 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams a job's progress as Server-Sent Events. The job's
+// history (current state, recorded trace) is replayed first, then live
+// events follow until the job reaches a terminal state — whose event,
+// carrying the result summary or error, is the last before the stream ends.
+// Comment heartbeats keep idle proxies from reaping the connection.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	events, cancel := j.Subscribe()
+	defer cancel()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return // terminal event already delivered
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -290,6 +362,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("blasys_jobs_cancelled_total", "Jobs cancelled before completing.", "counter", float64(m.JobsCancelled))
 	write("blasys_jobs_running", "Jobs currently executing on workers.", "gauge", float64(m.JobsRunning))
 	write("blasys_queue_depth", "Jobs waiting for a worker.", "gauge", float64(m.QueueDepth))
+	write("blasys_jobs_restored_total", "Terminal jobs restored from the durable store at startup.", "counter", float64(m.JobsRestored))
+	write("blasys_jobs_resumed_total", "Interrupted jobs re-enqueued from the durable store at startup.", "counter", float64(m.JobsResumed))
 	write("blasys_bmf_cache_hits_total", "Factorization cache hits.", "counter", float64(m.Cache.Hits))
 	write("blasys_bmf_cache_misses_total", "Factorization cache misses.", "counter", float64(m.Cache.Misses))
 	write("blasys_bmf_cache_entries", "Factorizations resident in the cache.", "gauge", float64(m.Cache.Entries))

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/blif"
+	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// RequestRecord is the journaled, re-materializable form of a job
+// submission. The circuit is stored by provenance when known — the benchmark
+// name or the submitted BLIF text verbatim — so a restarted process rebuilds
+// the *identical* circuit (same node order, same decomposition, same walk),
+// not merely an equivalent one. Programmatic submissions without provenance
+// fall back to a BLIF serialization of the in-memory circuit.
+type RequestRecord struct {
+	// Benchmark names one of the paper's circuits; takes precedence over
+	// CircuitBLIF when set.
+	Benchmark string `json:"benchmark,omitempty"`
+	// CircuitBLIF is the netlist as BLIF text.
+	CircuitBLIF string `json:"circuit_blif,omitempty"`
+
+	Spec   []GroupRecord `json:"spec"`
+	Config ConfigRecord  `json:"config"`
+}
+
+// GroupRecord is the stored form of one qor.Group.
+type GroupRecord struct {
+	Name   string `json:"name"`
+	Bits   []int  `json:"bits"`
+	Signed bool   `json:"signed,omitempty"`
+}
+
+// SequenceRecord is the stored form of qor.Sequence.
+type SequenceRecord struct {
+	Steps    int      `json:"steps"`
+	Feedback [][2]int `json:"feedback"`
+}
+
+// ConfigRecord stores the serializable subset of core.Config — every field
+// that shapes the flow's result. Runtime-only fields (Lib, Cache, Progress,
+// Checkpoint, Resume) are re-attached by the engine at run time; Lib is
+// always the default library for journaled jobs.
+type ConfigRecord struct {
+	K                  int             `json:"k,omitempty"`
+	M                  int             `json:"m,omitempty"`
+	Metric             int             `json:"metric,omitempty"`
+	Threshold          float64         `json:"threshold,omitempty"`
+	Samples            int             `json:"samples,omitempty"`
+	Seed               int64           `json:"seed,omitempty"`
+	Weighted           bool            `json:"weighted,omitempty"`
+	Semiring           int             `json:"semiring,omitempty"`
+	Basis              int             `json:"basis,omitempty"`
+	TauSweep           []float64       `json:"tau_sweep,omitempty"`
+	ExploreFully       bool            `json:"explore_fully,omitempty"`
+	MaxSteps           int             `json:"max_steps,omitempty"`
+	Parallelism        int             `json:"parallelism,omitempty"`
+	Workers            int             `json:"workers,omitempty"`
+	SynthExact         bool            `json:"synth_exact,omitempty"`
+	Lazy               bool            `json:"lazy,omitempty"`
+	DisableIncremental bool            `json:"disable_incremental,omitempty"`
+	Sequence           *SequenceRecord `json:"sequence,omitempty"`
+}
+
+// NewRequestRecord captures a submission for the journal. benchmark and
+// blifText record the circuit's provenance when the caller knows it (the
+// HTTP server does); pass them empty to serialize circ itself.
+func NewRequestRecord(circ *logic.Circuit, spec qor.OutputSpec, cfg core.Config, benchmark, blifText string) (*RequestRecord, error) {
+	r := &RequestRecord{
+		Benchmark:   benchmark,
+		CircuitBLIF: blifText,
+		Config:      newConfigRecord(cfg),
+	}
+	if r.Benchmark == "" && r.CircuitBLIF == "" {
+		var sb strings.Builder
+		if err := blif.Write(&sb, circ); err != nil {
+			return nil, fmt.Errorf("store: serialize request circuit: %w", err)
+		}
+		r.CircuitBLIF = sb.String()
+	}
+	for _, g := range spec.Groups {
+		r.Spec = append(r.Spec, GroupRecord{
+			Name: g.Name, Bits: append([]int(nil), g.Bits...), Signed: g.Signed,
+		})
+	}
+	return r, nil
+}
+
+func newConfigRecord(cfg core.Config) ConfigRecord {
+	cr := ConfigRecord{
+		K: cfg.K, M: cfg.M,
+		Metric:             int(cfg.Metric),
+		Threshold:          cfg.Threshold,
+		Samples:            cfg.Samples,
+		Seed:               cfg.Seed,
+		Weighted:           cfg.Weighted,
+		Semiring:           int(cfg.Semiring),
+		Basis:              int(cfg.Basis),
+		TauSweep:           append([]float64(nil), cfg.TauSweep...),
+		ExploreFully:       cfg.ExploreFully,
+		MaxSteps:           cfg.MaxSteps,
+		Parallelism:        cfg.Parallelism,
+		Workers:            cfg.Workers,
+		SynthExact:         cfg.SynthExact,
+		Lazy:               cfg.Lazy,
+		DisableIncremental: cfg.DisableIncremental,
+	}
+	if cfg.Sequence != nil {
+		cr.Sequence = &SequenceRecord{
+			Steps:    cfg.Sequence.Steps,
+			Feedback: append([][2]int(nil), cfg.Sequence.Feedback...),
+		}
+	}
+	return cr
+}
+
+// Materialize rebuilds the circuit, spec, and core config from the record.
+func (r *RequestRecord) Materialize() (*logic.Circuit, qor.OutputSpec, core.Config, error) {
+	var (
+		circ *logic.Circuit
+		err  error
+	)
+	switch {
+	case r.Benchmark != "":
+		bm, berr := bench.ByName(r.Benchmark)
+		if berr != nil {
+			return nil, qor.OutputSpec{}, core.Config{}, fmt.Errorf("store: materialize request: %w", berr)
+		}
+		circ = bm.Circ
+	case r.CircuitBLIF != "":
+		circ, err = blif.Read(strings.NewReader(r.CircuitBLIF))
+		if err != nil {
+			return nil, qor.OutputSpec{}, core.Config{}, fmt.Errorf("store: materialize request: %w", err)
+		}
+	default:
+		return nil, qor.OutputSpec{}, core.Config{}, fmt.Errorf("store: request record names no circuit")
+	}
+
+	var spec qor.OutputSpec
+	for _, g := range r.Spec {
+		spec.Groups = append(spec.Groups, qor.Group{
+			Name: g.Name, Bits: append([]int(nil), g.Bits...), Signed: g.Signed,
+		})
+	}
+
+	cr := r.Config
+	cfg := core.Config{
+		K: cr.K, M: cr.M,
+		Metric:             qor.Metric(cr.Metric),
+		Threshold:          cr.Threshold,
+		Samples:            cr.Samples,
+		Seed:               cr.Seed,
+		Weighted:           cr.Weighted,
+		Semiring:           bmf.Semiring(cr.Semiring),
+		Basis:              core.Basis(cr.Basis),
+		TauSweep:           append([]float64(nil), cr.TauSweep...),
+		ExploreFully:       cr.ExploreFully,
+		MaxSteps:           cr.MaxSteps,
+		Parallelism:        cr.Parallelism,
+		Workers:            cr.Workers,
+		SynthExact:         cr.SynthExact,
+		Lazy:               cr.Lazy,
+		DisableIncremental: cr.DisableIncremental,
+	}
+	if cr.Sequence != nil {
+		cfg.Sequence = &qor.Sequence{
+			Steps:    cr.Sequence.Steps,
+			Feedback: append([][2]int(nil), cr.Sequence.Feedback...),
+		}
+	}
+	return circ, spec, cfg, nil
+}
+
+// ResultRecord is the journaled terminal outcome of a successful job:
+// everything the service needs to keep serving the job after a restart
+// without re-running the flow — the summary, the chosen netlist, and the
+// full frontier.
+type ResultRecord struct {
+	BestStep          int                  `json:"best_step"`
+	Steps             []core.Step          `json:"steps"`
+	AccurateModelArea float64              `json:"accurate_model_area"`
+	Frontier          []core.FrontierPoint `json:"frontier,omitempty"`
+	// BestBLIF is the chosen approximate netlist, serialized as BLIF.
+	BestBLIF string `json:"best_blif"`
+}
+
+// NewResultRecord captures a finished flow result for the journal.
+func NewResultRecord(res *core.Result) (*ResultRecord, error) {
+	best, err := res.BestCircuit()
+	if err != nil {
+		return nil, fmt.Errorf("store: serialize result circuit: %w", err)
+	}
+	var sb strings.Builder
+	if err := blif.Write(&sb, best); err != nil {
+		return nil, fmt.Errorf("store: serialize result circuit: %w", err)
+	}
+	r := &ResultRecord{
+		BestStep:          res.BestStep,
+		Steps:             append([]core.Step(nil), res.Steps...),
+		AccurateModelArea: res.AccurateModelArea,
+		BestBLIF:          sb.String(),
+	}
+	if res.Frontier != nil {
+		r.Frontier = res.Frontier.Points()
+	}
+	return r, nil
+}
+
+// BestCircuit parses the stored approximate netlist.
+func (r *ResultRecord) BestCircuit() (*logic.Circuit, error) {
+	c, err := blif.Read(strings.NewReader(r.BestBLIF))
+	if err != nil {
+		return nil, fmt.Errorf("store: parse stored result netlist: %w", err)
+	}
+	return c, nil
+}
+
+// RestoreFrontier rebuilds the frontier (points plus the maintained
+// non-dominated set) from the stored points.
+func (r *ResultRecord) RestoreFrontier() *core.Frontier {
+	if len(r.Frontier) == 0 {
+		return nil
+	}
+	return core.RestoreFrontier(r.AccurateModelArea, r.Frontier)
+}

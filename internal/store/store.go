@@ -1,0 +1,454 @@
+// Package store is the durability layer of the approximation service: a
+// snapshot+journal job store on disk plus a disk-backed factorization cache
+// (cache.go), keyed by job ID and content address respectively.
+//
+// Layout under the store directory:
+//
+//	jobs/<id>.journal     append-only JSONL: request, state transitions,
+//	                      trace points, terminal result — written as they
+//	                      happen, one self-contained record per line
+//	jobs/<id>.checkpoint  atomically-replaced JSON snapshot of the
+//	                      exploration's latest core.ExplorerState
+//	cache/<aa>/<key>.json content-addressed factorization results
+//
+// The split follows the classic snapshot+journal recipe: the journal holds
+// small monotone facts (cheap appends, trivially replayable, a torn final
+// line loses at most one record), while the checkpoint — whose size grows
+// with the exploration — is a whole-file snapshot replaced via
+// write-to-temp + rename so a crash always leaves either the old or the new
+// state, never a torn one.
+//
+// Replay is deliberately lenient: a corrupt or truncated journal line is
+// skipped with a logged warning (the crash that necessitated the replay is
+// exactly when a torn write is expected), and an unreadable checkpoint
+// degrades to resuming from step 0. Replay never fails the whole store open
+// for one damaged job.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/blasys-go/blasys/internal/core"
+)
+
+const (
+	jobsSubdir  = "jobs"
+	cacheSubdir = "cache"
+
+	journalExt    = ".journal"
+	checkpointExt = ".checkpoint"
+)
+
+// Store is a directory-backed job store. All methods are safe for concurrent
+// use; per-job journals serialize their own appends.
+type Store struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	journals map[string]*Journal
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{jobsSubdir, cacheSubdir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		dir:      dir,
+		logf:     log.Printf,
+		journals: make(map[string]*Journal),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetLogger redirects the store's warning messages (default log.Printf).
+func (s *Store) SetLogger(logf func(format string, args ...any)) {
+	if logf != nil {
+		s.logf = logf
+	}
+}
+
+func (s *Store) jobPath(id, ext string) string {
+	return filepath.Join(s.dir, jobsSubdir, id+ext)
+}
+
+// entry is one journal line. Exactly one payload field is set, selected by
+// Type; Time stamps when the fact was recorded.
+type entry struct {
+	Type string    `json:"type"` // request | state | trace | result
+	Time time.Time `json:"time"`
+
+	Request *RequestRecord   `json:"request,omitempty"`
+	State   string           `json:"state,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	Trace   *core.TracePoint `json:"trace,omitempty"`
+	Result  *ResultRecord    `json:"result,omitempty"`
+
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// Journal is one job's append-only record stream.
+type Journal struct {
+	id string
+	st *Store
+
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// Journal opens (appending) the journal for a job ID, creating it on first
+// use. The same *Journal is returned for repeated calls until Close.
+func (s *Store) Journal(id string) (*Journal, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.journals[id]; ok {
+		return j, nil
+	}
+	f, err := os.OpenFile(s.jobPath(id, journalExt), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal %s: %w", id, err)
+	}
+	j := &Journal{id: id, st: s, f: f, enc: json.NewEncoder(f)}
+	s.journals[id] = j
+	return j, nil
+}
+
+// validID rejects IDs that could escape the jobs directory or collide with
+// the store's own file extensions.
+func validID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	return nil
+}
+
+func (j *Journal) append(e entry, sync bool) error {
+	e.Time = time.Now().UTC()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal %s closed", j.id)
+	}
+	if err := j.enc.Encode(&e); err != nil {
+		return fmt.Errorf("store: journal %s: %w", j.id, err)
+	}
+	if sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Request journals the job's (re-materializable) submission.
+func (j *Journal) Request(r *RequestRecord) error {
+	return j.append(entry{Type: "request", Request: r}, true)
+}
+
+// State journals a lifecycle transition; jobErr carries the failure message
+// for terminal error states. Terminal states are fsynced.
+func (j *Journal) State(state, jobErr string) error {
+	sync := state == "done" || state == "failed" || state == "cancelled"
+	return j.append(entry{Type: "state", State: state, Error: jobErr}, sync)
+}
+
+// Trace journals one committed exploration trace point.
+func (j *Journal) Trace(p core.TracePoint) error {
+	return j.append(entry{Type: "trace", Trace: &p}, false)
+}
+
+// Result journals the terminal result record (fsynced).
+func (j *Journal) Result(r *ResultRecord, hits, misses uint64) error {
+	return j.append(entry{Type: "result", Result: r, CacheHits: hits, CacheMisses: misses}, true)
+}
+
+// Close flushes and closes the journal file and detaches it from the store.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	j.st.mu.Lock()
+	delete(j.st.journals, j.id)
+	j.st.mu.Unlock()
+	return err
+}
+
+// WriteFileAtomic replaces path atomically: the content is written to a
+// temp file in the same directory, optionally fsynced, then renamed into
+// place — a reader (or a crash) sees either the old or the new file in
+// full, never a torn one. sync should be true when losing BOTH versions to
+// a power cut is unacceptable (checkpoints); false when a lost file merely
+// costs a recomputation (cache entries, which read-validate anyway).
+func WriteFileAtomic(path string, sync bool, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteCheckpoint atomically replaces the job's exploration snapshot.
+func (s *Store) WriteCheckpoint(id string, st *core.ExplorerState) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	err := WriteFileAtomic(s.jobPath(id, checkpointExt), true, func(w io.Writer) error {
+		_, werr := st.WriteTo(w)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("store: checkpoint %s: %w", id, err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads the job's latest exploration snapshot; (nil, nil)
+// when none was ever written.
+func (s *Store) ReadCheckpoint(id string) (*core.ExplorerState, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.jobPath(id, checkpointExt))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s: %w", id, err)
+	}
+	defer f.Close()
+	return core.ReadExplorerState(f)
+}
+
+// JobRecord is one job's state folded out of its journal and checkpoint.
+type JobRecord struct {
+	ID       string
+	State    string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Error    string
+
+	Request    *RequestRecord
+	Trace      []core.TracePoint
+	Checkpoint *core.ExplorerState
+	Result     *ResultRecord
+
+	CacheHits, CacheMisses uint64
+
+	// CorruptLines counts journal lines skipped during replay.
+	CorruptLines int
+}
+
+// Terminal reports whether the record's state is final.
+func (r *JobRecord) Terminal() bool {
+	return r.State == "done" || r.State == "failed" || r.State == "cancelled"
+}
+
+// Replay folds every job journal in the store into records, sorted by
+// creation time (journal order within a job is authoritative). Damaged
+// journal lines and unreadable checkpoints are skipped with a warning —
+// replay reconstructs as much as the disk still holds, it never refuses the
+// whole store because one job's tail was torn by a crash.
+func (s *Store) Replay() ([]*JobRecord, error) {
+	dir := filepath.Join(s.dir, jobsSubdir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: replay: %w", err)
+	}
+	var recs []*JobRecord
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, journalExt)
+		rec, err := s.replayJob(id)
+		if err != nil {
+			s.logf("store: replay %s: %v (skipping job)", id, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Created.Equal(recs[j].Created) {
+			return recs[i].Created.Before(recs[j].Created)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, nil
+}
+
+// replayJob folds one job's journal (and checkpoint, for unfinished jobs)
+// into a record.
+func (s *Store) replayJob(id string) (*JobRecord, error) {
+	f, err := os.Open(s.jobPath(id, journalExt))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	rec := &JobRecord{ID: id, State: "queued"}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	line := 0
+	// Trace points are keyed by exploration step: a job that crashed between
+	// journaling a trace point and its checkpoint re-journals that step after
+	// resuming, so replay keeps the first record per step (the duplicates are
+	// bit-identical — the walk is deterministic).
+	seenSteps := make(map[int]bool)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			rec.CorruptLines++
+			s.logf("store: journal %s line %d: %v (skipping record)", id, line, err)
+			continue
+		}
+		switch e.Type {
+		case "request":
+			rec.Request = e.Request
+			rec.Created = e.Time
+		case "state":
+			rec.State = e.State
+			rec.Error = e.Error
+			switch e.State {
+			case "running":
+				rec.Started = e.Time
+			case "done", "failed", "cancelled":
+				rec.Finished = e.Time
+			}
+		case "trace":
+			if e.Trace != nil && !seenSteps[e.Trace.Step] {
+				seenSteps[e.Trace.Step] = true
+				rec.Trace = append(rec.Trace, *e.Trace)
+			}
+		case "result":
+			rec.Result = e.Result
+			rec.CacheHits, rec.CacheMisses = e.CacheHits, e.CacheMisses
+		default:
+			rec.CorruptLines++
+			s.logf("store: journal %s line %d: unknown record type %q (skipping record)", id, line, e.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A torn tail (e.g. crash mid-append past the scanner's buffer) loses
+		// the remainder of the journal, not the whole job.
+		rec.CorruptLines++
+		s.logf("store: journal %s: %v (truncating replay at line %d)", id, err, line)
+	}
+	if rec.Request == nil {
+		return nil, fmt.Errorf("no readable request record")
+	}
+	if rec.Created.IsZero() {
+		rec.Created = time.Now().UTC()
+	}
+	if !rec.Terminal() {
+		cp, err := s.ReadCheckpoint(id)
+		if err != nil {
+			s.logf("store: checkpoint %s: %v (resuming from step 0)", id, err)
+		} else {
+			rec.Checkpoint = cp
+		}
+	}
+	return rec, nil
+}
+
+// Remove deletes every record of a job — its journal (closing any open
+// handle) and its checkpoint. Used when a submission is rejected after its
+// request was journaled, and when the engine evicts a terminal job past its
+// retention bound (the store mirrors the in-memory retention, or evicted
+// jobs would resurrect on the next restart and journals would accumulate
+// forever).
+func (s *Store) Remove(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j := s.journals[id]
+	s.mu.Unlock()
+	if j != nil {
+		if err := j.Close(); err != nil {
+			return err
+		}
+	}
+	err := os.Remove(s.jobPath(id, journalExt))
+	if errors.Is(err, fs.ErrNotExist) {
+		err = nil
+	}
+	if cperr := s.RemoveCheckpoint(id); err == nil {
+		err = cperr
+	}
+	return err
+}
+
+// RemoveCheckpoint deletes a job's snapshot (done once the job reaches a
+// terminal state: the journal's result record supersedes it).
+func (s *Store) RemoveCheckpoint(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	err := os.Remove(s.jobPath(id, checkpointExt))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Close closes every open journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	open := make([]*Journal, 0, len(s.journals))
+	for _, j := range s.journals {
+		open = append(open, j)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, j := range open {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

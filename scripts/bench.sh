@@ -20,19 +20,29 @@
 #   scripts/bench.sh                      # full suite, BENCH_$(date +%F).json
 #   scripts/bench.sh 'Compare|Explore'    # only benchmarks matching the pattern
 #   scripts/bench.sh -workers 8           # worker count for the parallel-sweep leg
+#   scripts/bench.sh -f                   # overwrite an existing output file
 #   OUT=custom.json scripts/bench.sh      # override the output file
+#
+# An existing output file is never clobbered without -f: committed
+# BENCH_<date>.json records are the bench-regression gate's baseline, and a
+# silent overwrite would rewrite the trajectory the gate compares against.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PATTERN='.'
 WORKERS=''
+FORCE=''
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-workers)
 		[ $# -ge 2 ] || { echo "bench.sh: -workers needs a value" >&2; exit 2; }
 		WORKERS="$2"
 		shift 2
+		;;
+	-f)
+		FORCE=1
+		shift
 		;;
 	*)
 		PATTERN="$1"
@@ -42,6 +52,15 @@ while [ $# -gt 0 ]; do
 done
 
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+# Create the output directory if the caller pointed OUT somewhere deep, and
+# refuse to overwrite an existing record unless forced.
+OUT_DIR=$(dirname "$OUT")
+[ -d "$OUT_DIR" ] || mkdir -p "$OUT_DIR"
+if [ -e "$OUT" ] && [ -z "$FORCE" ]; then
+	echo "bench.sh: $OUT already exists; re-run with -f to overwrite" >&2
+	exit 2
+fi
 
 # check_status NAME STATUS: fail loudly instead of relying on set -e alone,
 # so a non-zero go test exit can never be masked by later steps.
