@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/telemetry"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
 
@@ -70,14 +72,35 @@ func main() {
 		ckptPath     = flag.String("checkpoint", "", "persist the exploration state to this file after every committed step (atomically replaced)")
 		resumePath   = flag.String("resume", "", "resume the exploration from a -checkpoint file (a missing file starts fresh)")
 		verbose      = flag.Bool("v", false, "log progress")
+		logLevel     = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat    = flag.String("log-format", "text", "log line format: text|json")
 	)
 	flag.Parse()
+	if err := setupLogging(*logFormat, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "blasys:", err)
+		os.Exit(1)
+	}
 	if err := run(*benchName, *blifPath, *k, *m, *threshold, *metricName, *samples,
 		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *workers,
 		*tracePath, *frontierPath, *outPath, *ckptPath, *resumePath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys:", err)
 		os.Exit(1)
 	}
+}
+
+// setupLogging installs the structured logger the flow's warnings go
+// through; the CLI's own progress reporting stays on stdout.
+func setupLogging(format, level string) error {
+	lvl, err := telemetry.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, format, lvl)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	return nil
 }
 
 func run(benchName, blifPath string, k, m int, threshold float64, metricName string,
@@ -141,7 +164,7 @@ func run(benchName, blifPath string, k, m int, threshold float64, metricName str
 	if ckptPath != "" {
 		cfg.Checkpoint = func(st core.ExplorerState) {
 			if err := writeCheckpointFile(ckptPath, &st); err != nil {
-				fmt.Fprintln(os.Stderr, "blasys: checkpoint:", err)
+				slog.Warn("blasys: write checkpoint", "path", ckptPath, "err", err)
 			}
 		}
 	}

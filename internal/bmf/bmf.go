@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/sched"
 	"github.com/blasys-go/blasys/internal/tt"
@@ -142,6 +143,11 @@ func Factorize(M *tt.Matrix, f int, opt Options) (*Result, error) {
 	if sweep == nil {
 		sweep = DefaultTauSweep
 	}
+	start := time.Now()
+	defer func() {
+		mFactorize.With("asso").Observe(time.Since(start).Seconds())
+		mTauSweepWidth.Observe(float64(len(sweep)))
+	}()
 
 	// The column co-occurrence statistics feeding the association matrix are
 	// tau-independent: compute them once and share across the whole sweep.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/tt"
 )
@@ -122,6 +123,7 @@ func NewMemoryCache() *MemoryCache {
 
 // Get returns the entry stored under k, counting the hit or miss.
 func (c *MemoryCache) Get(k Key) (any, bool) {
+	start := time.Now()
 	c.mu.RLock()
 	v, ok := c.m[k]
 	c.mu.RUnlock()
@@ -130,6 +132,7 @@ func (c *MemoryCache) Get(k Key) (any, bool) {
 	} else {
 		c.misses.Add(1)
 	}
+	observeCacheGet("memory", ok, time.Since(start))
 	return v, ok
 }
 

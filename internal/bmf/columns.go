@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/tt"
 )
@@ -41,6 +42,8 @@ func FactorizeColumns(M *tt.Matrix, f int, opt Options) (*ColumnResult, error) {
 	if len(weights) != M.Cols {
 		return nil, fmt.Errorf("bmf: %d column weights for %d columns", len(weights), M.Cols)
 	}
+	start := time.Now()
+	defer func() { mFactorize.With("columns").Observe(time.Since(start).Seconds()) }()
 
 	m := M.Cols
 	words := (M.Rows + 63) / 64

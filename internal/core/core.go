@@ -37,6 +37,7 @@ import (
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/synth"
 	"github.com/blasys-go/blasys/internal/techmap"
+	"github.com/blasys-go/blasys/internal/telemetry"
 	"github.com/blasys-go/blasys/internal/tt"
 )
 
@@ -120,6 +121,12 @@ type Config struct {
 	// must come from a run with a matching configuration (see
 	// ExplorerState.ConfigDigest).
 	Resume *ExplorerState
+	// Span, when non-nil, is the parent telemetry span the flow records its
+	// stages under ("profile", "explore", per-step "step" children). A nil
+	// span disables stage recording at zero cost; like Progress and
+	// Checkpoint, the field is pure observability and excluded from the
+	// checkpoint config digest.
+	Span *telemetry.Span
 	// DisableIncremental forces exploration candidates to be evaluated by
 	// materializing the whole substituted circuit and resimulating it
 	// (logic.ReplaceBlocks + a full qor comparison), exactly as Algorithm 1
@@ -264,7 +271,10 @@ func ApproximateCtx(ctx context.Context, c *logic.Circuit, spec qor.OutputSpec, 
 	res := &Result{Config: cfg, Circuit: prepared, Spec: spec, BestStep: -1}
 
 	weights := blockOutputWeights(prepared, blocks, spec, cfg.Weighted)
+	profSpan := cfg.Span.Child("profile")
+	profSpan.SetAttr("blocks", len(blocks))
 	res.Profiles, err = profileBlocks(ctx, prepared, blocks, weights, cfg)
+	profSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -559,6 +569,14 @@ func profileBlock(ctx context.Context, c *logic.Circuit, b partition.Block, colW
 
 // explore is Alg. 1's circuit-space exploration (lines 12–22).
 func explore(ctx context.Context, res *Result, ce candidateEvaluator, cfg Config) error {
+	exp := cfg.Span.Child("explore")
+	defer func() {
+		exp.SetAttr("steps", len(res.Steps))
+		exp.End()
+	}()
+	// Step spans nest under the explore span (cfg is a value copy; the
+	// caller's Span is untouched).
+	cfg.Span = exp
 	res.Frontier = newFrontier(res.AccurateModelArea)
 	startStep := 0
 	if cfg.Resume != nil {
@@ -597,6 +615,7 @@ func committedDegrees(res *Result) []int {
 // Progress hook.
 func (r *Result) commitStep(s Step, cfg Config) {
 	r.Steps = append(r.Steps, s)
+	mSteps.Inc()
 	if cfg.Progress != nil {
 		cfg.Progress(r.tracePointAt(len(r.Steps) - 1))
 	}
@@ -681,6 +700,9 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		if len(cands) == 0 {
 			break
 		}
+		stepSpan := cfg.Span.Child("step")
+		stepSpan.SetAttr("step", step)
+		stepSpan.SetAttr("candidates", len(cands))
 		var chosen *cand
 		for {
 			sort.Slice(cands, func(i, j int) bool {
@@ -710,6 +732,7 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 				}
 			}
 			if err := measure(step, stale); err != nil {
+				stepSpan.End()
 				return err
 			}
 		}
@@ -717,6 +740,7 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		degrees[chosen.bi]--
 		version++
 		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
+			stepSpan.End()
 			return err
 		}
 		res.commitStep(Step{
@@ -738,6 +762,9 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 			}
 			checkpoint(res, degrees, len(res.Steps), cfg, ls)
 		}
+		stepSpan.SetAttr("block", chosen.bi)
+		stepSpan.SetAttr("degree", degrees[chosen.bi])
+		stepSpan.End()
 		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
 			break
 		}
@@ -770,8 +797,12 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 		if len(cands) == 0 {
 			break
 		}
+		stepSpan := cfg.Span.Child("step")
+		stepSpan.SetAttr("step", step)
+		stepSpan.SetAttr("candidates", len(cands))
 		results := runSweep(ctx, shards, degrees, cands)
 		if err := ctx.Err(); err != nil {
+			stepSpan.End()
 			return err
 		}
 		// Serial reduction in candidate order: record every evaluated point
@@ -801,6 +832,7 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 		res.Frontier.markCommitted(bestPt)
 		degrees[chosen.bi]--
 		if err := ce.commit(chosen.bi, degrees[chosen.bi]); err != nil {
+			stepSpan.End()
 			return err
 		}
 		res.commitStep(Step{
@@ -810,6 +842,9 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 			ModelArea:  res.modelArea(degrees),
 		}, cfg)
 		checkpoint(res, degrees, len(res.Steps), cfg, nil)
+		stepSpan.SetAttr("block", chosen.bi)
+		stepSpan.SetAttr("degree", degrees[chosen.bi])
+		stepSpan.End()
 		if !cfg.ExploreFully && chosen.report.Value(cfg.Metric) >= cfg.Threshold {
 			break
 		}

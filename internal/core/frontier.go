@@ -81,6 +81,7 @@ func (f *Frontier) add(p FrontierPoint) int {
 	}
 	idx := len(f.points)
 	f.points = append(f.points, p)
+	mFrontierPoints.Inc()
 
 	// pos = first frontier entry with Error > p.Error; the entry before it
 	// (if any) has Error <= p.Error and the smallest area among those.

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"github.com/blasys-go/blasys/internal/telemetry"
+)
+
+// Exploration telemetry. The candidate-eval histogram is the flow's single
+// most important latency signal — it is what a distributed sweep would
+// balance shards on — and the sweep histograms expose per-step fan-out.
+// All passive; the sweep's sharding and reduction are untouched.
+var (
+	mCandidateEval = telemetry.Default().Histogram(
+		"blasys_core_candidate_eval_seconds",
+		"Latency of one candidate QoR evaluation inside the sweep.",
+		telemetry.DurationBuckets)
+	mSweepSeconds = telemetry.Default().Histogram(
+		"blasys_core_sweep_seconds",
+		"Wall time of one sharded candidate sweep (one lazy batch or one exhaustive step).",
+		telemetry.DurationBuckets)
+	mSweepCandidates = telemetry.Default().Histogram(
+		"blasys_core_sweep_candidates",
+		"Candidates evaluated per sweep call.",
+		telemetry.CountBuckets)
+	mSteps = telemetry.Default().Counter(
+		"blasys_core_steps_total",
+		"Committed exploration steps across all runs in this process.",
+	)
+	mFrontierPoints = telemetry.Default().Counter(
+		"blasys_core_frontier_points_total",
+		"Evaluated design points recorded on Pareto frontiers.")
+)

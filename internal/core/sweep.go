@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/sched"
@@ -34,6 +35,11 @@ type sweepResult struct {
 // the BMF tau sweep); shards that win no token run inline on the caller, so
 // the sweep never blocks on the budget and never oversubscribes the CPU.
 func runSweep(ctx context.Context, shards []candidateShard, degrees []int, cands []int) []sweepResult {
+	sweepStart := time.Now()
+	defer func() {
+		mSweepSeconds.Observe(time.Since(sweepStart).Seconds())
+		mSweepCandidates.Observe(float64(len(cands)))
+	}()
 	results := make([]sweepResult, len(cands))
 	w := len(shards)
 	if w > len(cands) {
@@ -45,7 +51,9 @@ func runSweep(ctx context.Context, shards []candidateShard, degrees []int, cands
 				return
 			}
 			bi := cands[i]
+			evalStart := time.Now()
 			rep, err := sh.evaluate(degrees, bi)
+			mCandidateEval.Observe(time.Since(evalStart).Seconds())
 			results[i] = sweepResult{bi: bi, report: rep, err: err}
 		}
 	}

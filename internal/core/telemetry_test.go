@@ -1,0 +1,55 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/telemetry"
+)
+
+// TestTelemetryIsPassive pins the determinism invariant of the telemetry
+// subsystem: running the flow with a span timeline attached produces a
+// byte-identical exploration to running it with telemetry off. Spans and
+// metrics read the clock and bump counters; they never influence the walk.
+func TestTelemetryIsPassive(t *testing.T) {
+	circ := rippleAdder(5)
+	spec := qor.Unsigned("s", 6)
+	cfg := Config{K: 4, M: 3, Samples: 1 << 8, Seed: 3, ExploreFully: true, MaxSteps: 6}
+
+	plain, err := Approximate(circ, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := telemetry.NewTimeline(0)
+	root := tl.Start("job")
+	cfg.Span = root
+	traced, err := Approximate(circ, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if plain.BestStep != traced.BestStep {
+		t.Fatalf("BestStep diverged: %d vs %d", plain.BestStep, traced.BestStep)
+	}
+	if !reflect.DeepEqual(plain.Steps, traced.Steps) {
+		t.Fatalf("steps diverged:\nplain:  %+v\ntraced: %+v", plain.Steps, traced.Steps)
+	}
+	if !reflect.DeepEqual(plain.Frontier.Points(), traced.Frontier.Points()) {
+		t.Fatal("frontier points diverged between telemetry off and on")
+	}
+
+	// The traced run actually recorded its stages.
+	names := map[string]int{}
+	for _, r := range tl.Records() {
+		names[r.Name]++
+	}
+	if names["profile"] == 0 || names["explore"] == 0 || names["step"] == 0 {
+		t.Fatalf("expected profile/explore/step spans, got %v", names)
+	}
+	if names["step"] != len(traced.Steps) {
+		t.Fatalf("%d step spans for %d committed steps", names["step"], len(traced.Steps))
+	}
+}

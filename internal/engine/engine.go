@@ -19,15 +19,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
 	"github.com/blasys-go/blasys/internal/store"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
 // Errors returned by the engine's job-manager surface.
@@ -71,7 +73,11 @@ type Options struct {
 	// or step 0 without one). With Resume false such jobs are left on disk
 	// untouched; terminal jobs are always restored for serving.
 	Resume bool
-	// Logf sinks the engine's durability warnings (default log.Printf).
+	// Logger sinks the engine's structured warnings (durability, replay,
+	// span journaling). Nil falls back to Logf when set, else slog.Default().
+	Logger *slog.Logger
+	// Logf is the legacy printf-style warning sink, kept for embedders;
+	// prefer Logger. When only Logf is set it is wrapped as a slog handler.
 	Logf func(format string, args ...any)
 }
 
@@ -92,8 +98,12 @@ func (o Options) withDefaults() Options {
 	if o.RetainJobs <= 0 {
 		o.RetainJobs = 1024
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Logger == nil {
+		if o.Logf != nil {
+			o.Logger = telemetry.LogfLogger(o.Logf)
+		} else {
+			o.Logger = slog.Default()
+		}
 	}
 	return o
 }
@@ -132,6 +142,11 @@ type Engine struct {
 	completed, failed, cancelled atomic.Uint64
 	restored, resumed            atomic.Uint64
 	running                      atomic.Int64
+
+	// met is this engine's metric registry (see metrics.go). The lifecycle
+	// counters mirror the atomics above; the atomics stay authoritative for
+	// Metrics() so embedders without a scraper lose nothing.
+	met *engineMetrics
 }
 
 // New starts an engine with opts.Workers worker goroutines. With a durable
@@ -153,15 +168,19 @@ func New(opts Options) *Engine {
 		// Room for every re-enqueued job on top of the configured bound, so
 		// a full recovered backlog cannot deadlock startup.
 		queue: make(chan *Job, opts.QueueSize+requeueCount),
+		met:   newEngineMetrics(),
 	}
 	for _, job := range replayed {
 		e.jobs[job.ID] = job
 		e.order = append(e.order, job.ID)
 		if job.State() == StateQueued {
+			e.attachTimeline(job)
 			e.queue <- job
 			e.resumed.Add(1)
+			e.met.resumed.Inc()
 		} else {
 			e.restored.Add(1)
+			e.met.restored.Inc()
 		}
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -208,6 +227,7 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.attachTimeline(job)
 	// Cheap rejection pre-check so the overload path stays disk-free: a
 	// submission bound for ErrQueueFull/ErrClosed should not pay journal
 	// create+fsync+unlink — that would amplify exactly the overload the
@@ -292,6 +312,7 @@ func (e *Engine) Cancel(id string) (State, error) {
 	}
 	if job.cancelQueued() {
 		e.cancelled.Add(1)
+		e.met.cancelled.Inc()
 		e.persistState(job, StateCancelled, "cancelled while queued")
 		e.persistClose(job)
 		return StateCancelled, nil
@@ -356,6 +377,23 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
+// Ready reports whether the engine can accept and durably record work: nil
+// for an open engine whose store (if any) is writable, the reason otherwise.
+// This is the readiness half of the health surface; liveness is just the
+// process answering at all.
+func (e *Engine) Ready() error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if e.opts.Store != nil {
+		return e.opts.Store.Writable()
+	}
+	return nil
+}
+
 // Close stops accepting submissions, cancels running jobs, and waits for the
 // workers to drain. Queued jobs finish as cancelled.
 func (e *Engine) Close() {
@@ -379,6 +417,29 @@ func (e *Engine) worker() {
 	}
 }
 
+// attachTimeline gives a queued job its span timeline: prior-run spans are
+// imported (for a resumed job), the journaling/streaming hook is installed,
+// and the root "job" span with its "queue" child is opened. Must run before
+// the job can reach a worker — spans end on the worker goroutine and the
+// hook must already be in place by then.
+func (e *Engine) attachTimeline(job *Job) {
+	tl := telemetry.NewTimeline(0)
+	tl.Import(job.restoredSpans)
+	job.restoredSpans = nil
+	tl.SetOnEnd(func(rec telemetry.SpanRecord) {
+		if jnl := job.journal(); jnl != nil {
+			if err := jnl.Span(rec); err != nil {
+				e.opts.Logger.Warn("engine: journal span",
+					"job", job.ID, "span", rec.Name, "err", err)
+			}
+		}
+		job.publishStage(rec)
+	})
+	job.timeline = tl
+	job.span = tl.Start("job")
+	job.queueSpan = job.span.Child("queue")
+}
+
 // run executes one job on the calling worker goroutine.
 func (e *Engine) run(job *Job) {
 	ctx, cancel := context.WithCancel(e.baseCtx)
@@ -388,9 +449,11 @@ func (e *Engine) run(job *Job) {
 	}
 	e.running.Add(1)
 	defer e.running.Add(-1)
+	job.queueSpan.End()
+	e.met.queueWait.Observe(job.queueWait().Seconds())
 	e.persistState(job, StateRunning, "")
 
-	cc := &countingCache{inner: e.cache}
+	cc := &countingCache{inner: e.cache, met: e.met}
 	cfg := job.req.Config
 	cfg.Cache = cc
 	cfg.Progress = func(p core.TracePoint) {
@@ -407,17 +470,28 @@ func (e *Engine) run(job *Job) {
 	if cfg.Parallelism <= 0 && e.opts.JobParallelism > 0 {
 		cfg.Parallelism = e.opts.JobParallelism
 	}
+	runSpan := job.span.Child("run")
+	cfg.Span = runSpan
 
+	runStart := time.Now()
 	res, err := core.ApproximateCtx(ctx, job.req.Circuit, job.req.Spec, cfg)
+	e.met.runSeconds.Observe(time.Since(runStart).Seconds())
+	// Close the spans before the terminal bookkeeping: ending them journals
+	// their records (the journal is still open here) and streams the stage
+	// events while subscribers are still attached.
+	runSpan.End()
+	job.span.End()
 	hits, misses := cc.hits.Load(), cc.misses.Load()
 	switch {
 	case err == nil:
 		e.completed.Add(1)
+		e.met.completed.Inc()
 		e.persistResult(job, res, hits, misses)
 		job.finish(StateDone, res, nil, hits, misses)
 		e.persistClose(job)
 	case errors.Is(err, context.Canceled):
 		e.cancelled.Add(1)
+		e.met.cancelled.Inc()
 		job.finish(StateCancelled, nil, err, hits, misses)
 		if job.wasUserCancelled() {
 			// Explicit cancellation is terminal on disk too. An engine
@@ -428,6 +502,7 @@ func (e *Engine) run(job *Job) {
 		}
 	default:
 		e.failed.Add(1)
+		e.met.failed.Inc()
 		job.finish(StateFailed, nil, err, hits, misses)
 		e.persistState(job, StateFailed, err.Error())
 		e.persistClose(job)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
 // Event types streamed by GET /v1/jobs/{id}/events and Job.Subscribe.
@@ -14,6 +15,9 @@ const (
 	// EventCheckpoint announces that the exploration state through the given
 	// step was durably snapshotted (emitted only on engines with a store).
 	EventCheckpoint = "checkpoint"
+	// EventStage carries one completed timeline span (queue, run, profile,
+	// explore, step), summarizing where the job just spent its time.
+	EventStage = "stage"
 )
 
 // Event is one entry of a job's live progress stream.
@@ -25,6 +29,8 @@ type Event struct {
 	// Step is the committed-step count covered by a checkpoint event.
 	Step   int            `json:"step,omitempty"`
 	Result *ResultSummary `json:"result,omitempty"`
+	// Span is the completed stage of an EventStage event.
+	Span *telemetry.SpanRecord `json:"span,omitempty"`
 }
 
 // eventBuffer is the per-subscriber channel slack on top of the replayed
@@ -135,5 +141,14 @@ func (j *Job) closeSubsLocked() {
 func (j *Job) publishCheckpoint(step int) {
 	j.mu.Lock()
 	j.publishLocked(Event{Type: EventCheckpoint, Step: step})
+	j.mu.Unlock()
+}
+
+// publishStage streams one completed timeline span. Called from the
+// timeline's OnEnd hook, which fires without any job or timeline lock held.
+func (j *Job) publishStage(rec telemetry.SpanRecord) {
+	r := rec
+	j.mu.Lock()
+	j.publishLocked(Event{Type: EventStage, Span: &r})
 	j.mu.Unlock()
 }

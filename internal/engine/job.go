@@ -16,6 +16,7 @@ import (
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
 	"github.com/blasys-go/blasys/internal/store"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
 // State is a job's lifecycle stage. Transitions are linear:
@@ -90,6 +91,18 @@ type Job struct {
 	// after a restart, standing in for result.
 	restored *restoredResult
 
+	// timeline holds the job's stage spans; span is the root "job" span and
+	// queueSpan its first child, covering time spent waiting for a worker.
+	// All three are set before the job is published (Submit / replay) and
+	// never reassigned, so they are read without j.mu; a restored terminal
+	// job has a timeline (replayed spans) but no live span handles.
+	timeline  *telemetry.Timeline
+	span      *telemetry.Span
+	queueSpan *telemetry.Span
+	// restoredSpans carries a requeued job's prior-run spans from the store
+	// until the engine attaches its timeline.
+	restoredSpans []telemetry.SpanRecord
+
 	cacheHits, cacheMisses uint64
 }
 
@@ -143,6 +156,21 @@ func (j *Job) finish(state State, res *core.Result, err error, hits, misses uint
 	j.closeSubsLocked()
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// queueWait returns how long the job sat in the queue before a worker picked
+// it up (valid once running).
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started.Sub(j.created)
+}
+
+// Timeline snapshots the job's stage spans (completed first, then open ones
+// with a zero End). Nil-safe: an engine always attaches a timeline, but a
+// job constructed outside one simply has no spans.
+func (j *Job) Timeline() []telemetry.SpanRecord {
+	return j.timeline.Records()
 }
 
 // wasUserCancelled reports whether a running job's cancellation came from an
@@ -380,9 +408,10 @@ func (j *Job) Frontier() *core.Frontier {
 
 // countingCache wraps the engine's shared cache with per-job hit/miss
 // counters, so each job can report exactly how much factorization work its
-// run reused.
+// run reused; the same events feed the engine-wide registry counters.
 type countingCache struct {
 	inner        bmf.Cache
+	met          *engineMetrics
 	hits, misses atomic.Uint64
 }
 
@@ -390,8 +419,14 @@ func (c *countingCache) Get(k bmf.Key) (any, bool) {
 	v, ok := c.inner.Get(k)
 	if ok {
 		c.hits.Add(1)
+		if c.met != nil {
+			c.met.cacheHits.Inc()
+		}
 	} else {
 		c.misses.Add(1)
+		if c.met != nil {
+			c.met.cacheMisses.Inc()
+		}
 	}
 	return v, ok
 }

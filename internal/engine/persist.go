@@ -3,6 +3,7 @@ package engine
 import (
 	"github.com/blasys-go/blasys/internal/core"
 	"github.com/blasys-go/blasys/internal/store"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
 // This file is the engine's durability glue: journaling job facts into the
@@ -21,27 +22,27 @@ func (e *Engine) persistSubmit(job *Job) {
 		// the default one. The ConfigDigest hashes library content, so a
 		// checkpointed resume fails loudly rather than diverging silently —
 		// warn at submit time so the operator knows why.
-		e.opts.Logf("engine: job %s uses a custom technology library, which the store cannot journal; the job will not resume across a restart", job.ID)
+		e.opts.Logger.Warn("engine: job uses a custom technology library, which the store cannot journal; the job will not resume across a restart", "job", job.ID)
 	}
 	req, err := store.NewRequestRecord(job.req.Circuit, job.req.Spec, job.req.Config,
 		job.req.SourceBenchmark, job.req.SourceBLIF)
 	if err != nil {
-		e.opts.Logf("engine: journal %s request: %v (job will not survive a restart)", job.ID, err)
+		e.opts.Logger.Warn("engine: journal request failed; job will not survive a restart", "job", job.ID, "err", err)
 		return
 	}
 	jnl, err := e.opts.Store.Journal(job.ID)
 	if err != nil {
-		e.opts.Logf("engine: journal %s: %v (job will not survive a restart)", job.ID, err)
+		e.opts.Logger.Warn("engine: open journal failed; job will not survive a restart", "job", job.ID, "err", err)
 		return
 	}
 	job.mu.Lock()
 	job.jnl = jnl
 	job.mu.Unlock()
 	if err := jnl.Request(req); err != nil {
-		e.opts.Logf("engine: journal %s request: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal request", "job", job.ID, "err", err)
 	}
 	if err := jnl.State(string(StateQueued), ""); err != nil {
-		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "err", err)
 	}
 }
 
@@ -56,7 +57,7 @@ func (e *Engine) persistDiscard(job *Job) {
 	job.jnl = nil
 	job.mu.Unlock()
 	if err := e.opts.Store.Remove(job.ID); err != nil {
-		e.opts.Logf("engine: discard %s: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: discard rejected submission", "job", job.ID, "err", err)
 	}
 }
 
@@ -68,7 +69,7 @@ func (e *Engine) persistRemove(ids []string) {
 	}
 	for _, id := range ids {
 		if err := e.opts.Store.Remove(id); err != nil {
-			e.opts.Logf("engine: evict %s: %v", id, err)
+			e.opts.Logger.Warn("engine: evict job record", "job", id, "err", err)
 		}
 	}
 }
@@ -86,7 +87,7 @@ func (e *Engine) persistState(job *Job, state State, jobErr string) {
 		return
 	}
 	if err := jnl.State(string(state), jobErr); err != nil {
-		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "state", string(state), "err", err)
 	}
 }
 
@@ -97,7 +98,7 @@ func (e *Engine) persistTrace(job *Job, p core.TracePoint) {
 		return
 	}
 	if err := jnl.Trace(p); err != nil {
-		e.opts.Logf("engine: journal %s trace: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal trace", "job", job.ID, "step", p.Step, "err", err)
 	}
 }
 
@@ -107,7 +108,7 @@ func (e *Engine) persistCheckpoint(job *Job, st *core.ExplorerState) {
 		return
 	}
 	if err := e.opts.Store.WriteCheckpoint(job.ID, st); err != nil {
-		e.opts.Logf("engine: checkpoint %s: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: write checkpoint", "job", job.ID, "err", err)
 	}
 }
 
@@ -120,14 +121,14 @@ func (e *Engine) persistResult(job *Job, res *core.Result, hits, misses uint64) 
 	}
 	rec, err := store.NewResultRecord(res)
 	if err != nil {
-		e.opts.Logf("engine: journal %s result: %v (result will not survive a restart)", job.ID, err)
+		e.opts.Logger.Warn("engine: encode result failed; result will not survive a restart", "job", job.ID, "err", err)
 		return
 	}
 	if err := jnl.Result(rec, hits, misses); err != nil {
-		e.opts.Logf("engine: journal %s result: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal result", "job", job.ID, "err", err)
 	}
 	if err := jnl.State(string(StateDone), ""); err != nil {
-		e.opts.Logf("engine: journal %s state: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "state", string(StateDone), "err", err)
 	}
 }
 
@@ -144,10 +145,10 @@ func (e *Engine) persistClose(job *Job) {
 	job.jnl = nil
 	job.mu.Unlock()
 	if err := jnl.Close(); err != nil {
-		e.opts.Logf("engine: journal %s close: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: close journal", "job", job.ID, "err", err)
 	}
 	if err := e.opts.Store.RemoveCheckpoint(job.ID); err != nil {
-		e.opts.Logf("engine: checkpoint %s: %v", job.ID, err)
+		e.opts.Logger.Warn("engine: remove checkpoint", "job", job.ID, "err", err)
 	}
 }
 
@@ -162,7 +163,7 @@ func replayStore(opts Options) (jobs []*Job, requeueCount int) {
 	}
 	recs, err := opts.Store.Replay()
 	if err != nil {
-		opts.Logf("engine: store replay: %v (starting empty)", err)
+		opts.Logger.Warn("engine: store replay failed; starting empty", "err", err)
 		return nil, 0
 	}
 	for _, rec := range recs {
@@ -172,7 +173,7 @@ func replayStore(opts Options) (jobs []*Job, requeueCount int) {
 		case opts.Resume:
 			job, err := requeueJob(opts, rec)
 			if err != nil {
-				opts.Logf("engine: resume %s: %v (leaving job on disk)", rec.ID, err)
+				opts.Logger.Warn("engine: resume failed; leaving job on disk", "job", rec.ID, "err", err)
 				continue
 			}
 			jobs = append(jobs, job)
@@ -200,6 +201,12 @@ func restoreTerminalJob(rec *store.JobRecord) *Job {
 	}
 	if rec.Result != nil {
 		j.restored = &restoredResult{rec: rec.Result}
+	}
+	if len(rec.Spans) > 0 {
+		// A terminal job's timeline is read-only: replayed spans are served
+		// by the timeline endpoint, and no further spans will ever start.
+		j.timeline = telemetry.NewTimeline(0)
+		j.timeline.Import(rec.Spans)
 	}
 	close(j.done)
 	return j
@@ -232,6 +239,10 @@ func requeueJob(opts Options, rec *store.JobRecord) (*Job, error) {
 		},
 		done:   make(chan struct{}),
 		resume: rec.Checkpoint,
+		// The prior run's completed spans; the engine imports them when it
+		// attaches the fresh timeline, so the resumed job's timeline spans
+		// both lives.
+		restoredSpans: rec.Spans,
 	}
 	if rec.Checkpoint != nil {
 		// Rebuild the trace the original process had streamed; the resumed

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strings"
 	"time"
 
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/telemetry"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
 
@@ -33,20 +35,43 @@ const maxRequestBody = 16 << 20
 //	                                ?format=csv switches to CSV)
 //	GET    /v1/jobs/{id}/events     live progress as Server-Sent Events:
 //	                                state transitions, per-step trace
-//	                                points, checkpoint notices; history is
-//	                                replayed first, the stream ends with
-//	                                the terminal state event
-//	GET    /healthz                 liveness
-//	GET    /metrics                 Prometheus text format
+//	                                points, checkpoint notices, completed
+//	                                stage spans; history is replayed first,
+//	                                the stream ends with the terminal state
+//	                                event
+//	GET    /v1/jobs/{id}/timeline   the job's stage-span timeline as a JSON
+//	                                tree (?format=folded renders
+//	                                flamegraph-friendly folded stacks)
+//	GET    /healthz                 liveness (process up and serving)
+//	GET    /readyz                  readiness (engine open, store writable);
+//	                                503 with the reason otherwise
+//	GET    /metrics                 Prometheus text format, rendered from the
+//	                                engine's registry plus the process-wide
+//	                                pipeline registry
+//	GET    /debug/vars              every metric series as one JSON document
+//	GET    /debug/pprof/...         Go profiling endpoints (only with
+//	                                WithPprof)
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
 	start  time.Time
+	pprof  bool
 }
 
+// ServerOption customizes optional server surfaces.
+type ServerOption func(*Server)
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+// server's own mux, so profiling shares the API listener instead of needing
+// a side port.
+func WithPprof() ServerOption { return func(s *Server) { s.pprof = true } }
+
 // NewServer wraps an engine with the HTTP API.
-func NewServer(e *Engine) *Server {
+func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -56,8 +81,18 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result.v", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return s
 }
 
@@ -344,6 +379,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// timelineResponse is the JSON body of GET /v1/jobs/{id}/timeline.
+type timelineResponse struct {
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	// Spans counts recorded spans (completed and open); Dropped counts spans
+	// discarded past the per-job bound.
+	Spans   int                   `json:"spans"`
+	Dropped uint64                `json:"dropped,omitempty"`
+	Tree    []*telemetry.SpanNode `json:"tree"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	recs := j.Timeline()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, timelineResponse{
+			JobID:   j.ID,
+			State:   j.State(),
+			Spans:   len(recs),
+			Dropped: j.timeline.Dropped(),
+			Tree:    telemetry.BuildTree(recs),
+		})
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		telemetry.WriteFolded(w, recs)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (known: json, folded)", format)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -351,20 +422,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.engine.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	write := func(name, help, typ string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+// handleReadyz is the readiness probe: the engine accepts work and (when
+// durable) its store is writable. Startup replay happens inside engine.New,
+// so a server built on a live engine is ready by construction; blasys-serve
+// additionally answers 503 on this path while replay is still running.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unavailable",
+			"reason": err.Error(),
+		})
+		return
 	}
-	write("blasys_jobs_completed_total", "Jobs finished successfully.", "counter", float64(m.JobsCompleted))
-	write("blasys_jobs_failed_total", "Jobs finished with an error.", "counter", float64(m.JobsFailed))
-	write("blasys_jobs_cancelled_total", "Jobs cancelled before completing.", "counter", float64(m.JobsCancelled))
-	write("blasys_jobs_running", "Jobs currently executing on workers.", "gauge", float64(m.JobsRunning))
-	write("blasys_queue_depth", "Jobs waiting for a worker.", "gauge", float64(m.QueueDepth))
-	write("blasys_jobs_restored_total", "Terminal jobs restored from the durable store at startup.", "counter", float64(m.JobsRestored))
-	write("blasys_jobs_resumed_total", "Interrupted jobs re-enqueued from the durable store at startup.", "counter", float64(m.JobsResumed))
-	write("blasys_bmf_cache_hits_total", "Factorization cache hits.", "counter", float64(m.Cache.Hits))
-	write("blasys_bmf_cache_misses_total", "Factorization cache misses.", "counter", float64(m.Cache.Misses))
-	write("blasys_bmf_cache_entries", "Factorizations resident in the cache.", "gauge", float64(m.Cache.Entries))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ready",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the engine's registry (job lifecycle, queue,
+// per-engine cache traffic) followed by the process-wide pipeline registry
+// (bmf, qor, core, sched, store series). Family names are disjoint between
+// the two, so the page is one well-formed exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.engine.syncGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.Registry().WritePrometheus(w)
+	telemetry.Default().WritePrometheus(w)
+}
+
+// handleVars dumps every metric series of both registries as one JSON
+// document (an expvar-style debugging view of the same data /metrics serves).
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	s.engine.syncGauges()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"engine":         s.engine.Registry().Snapshot(),
+		"process":        telemetry.Default().Snapshot(),
+	})
 }

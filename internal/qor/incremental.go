@@ -3,6 +3,7 @@ package qor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/partition"
@@ -525,22 +526,28 @@ func (ic *IncrementalComparer) compareWith(sc *icScratch, bi int, impl *logic.Ci
 	if err := ic.checkCandidate(bi, impl); err != nil {
 		return Report{}, err
 	}
+	start := time.Now()
 	ic.compile(bi, impl, sc)
+	compiled := time.Now()
+	mCompileSeconds.Add(compiled.Sub(start).Seconds())
 	e := ic.eval
 	if !ic.reachesOutput(sc) {
 		// The cone never reaches a primary output: the candidate's outputs
 		// are the committed circuit's outputs.
+		mEvalBatches.Observe(0)
 		return ic.committedRep, nil
 	}
 
 	sc.acc.reset(&e.spec)
 	out := sc.out[:len(e.ref.Outputs)]
+	cleanBatches := 0
 	for b := 0; b < e.nBatches; b++ {
 		base := ic.base[b]
 		if sc.runBatch(base) {
 			// Block outputs match the committed state: the batch's metrics
 			// are exactly the cached committed partial.
 			sc.acc.fold(&ic.stats[b])
+			cleanBatches++
 			continue
 		}
 		w := sc.slots
@@ -553,7 +560,12 @@ func (ic *IncrementalComparer) compareWith(sc *icScratch, bi int, impl *logic.Ci
 		}
 		sc.acc.addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
 	}
-	return sc.acc.report(e.samples, e.exhaustive), nil
+	rep := sc.acc.report(e.samples, e.exhaustive)
+	mSimSeconds.Add(time.Since(compiled).Seconds())
+	mEvalBatchKind.With("clean").Add(float64(cleanBatches))
+	mEvalBatchKind.With("cone").Add(float64(e.nBatches - cleanBatches))
+	mEvalBatches.Observe(float64(e.nBatches))
+	return rep, nil
 }
 
 // Commit substitutes impl into block bi permanently: the committed node-word

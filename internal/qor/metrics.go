@@ -1,0 +1,29 @@
+package qor
+
+import (
+	"github.com/blasys-go/blasys/internal/telemetry"
+)
+
+// Hot-loop telemetry for the incremental comparer. Per-candidate evaluation
+// latency is recorded by the sweep driver (internal/core); here the eval is
+// split into its compile and simulate phases, and the clean-wave early-out
+// is counted so the cache's effectiveness (clean vs cone batches) is
+// visible. Counters aggregate seconds rather than per-phase histograms
+// because the phases run per candidate in the innermost loop — two clock
+// reads per eval is the entire added cost.
+var (
+	mCompileSeconds = telemetry.Default().Counter(
+		"blasys_qor_eval_compile_seconds_total",
+		"Cumulative time compiling candidate slot programs (impl segment + dirty cone).")
+	mSimSeconds = telemetry.Default().Counter(
+		"blasys_qor_eval_sim_seconds_total",
+		"Cumulative time in the per-batch simulate/fold loop of candidate evals.")
+	mEvalBatchKind = telemetry.Default().CounterVec(
+		"blasys_qor_eval_batches_total",
+		"Sample batches processed by candidate evals, by outcome: clean (cached partial folded) vs cone (re-simulated).",
+		"kind")
+	mEvalBatches = telemetry.Default().Histogram(
+		"blasys_qor_eval_batch_count",
+		"Sample batches examined per candidate eval (0 when the dirty cone misses every output).",
+		telemetry.CountBuckets)
+)

@@ -18,10 +18,30 @@
 // how many tokens they win (see core's candidate sweep and bmf.Factorize).
 package sched
 
-import "runtime"
+import (
+	"runtime"
+
+	"github.com/blasys-go/blasys/internal/telemetry"
+)
 
 // tokens is the machine-wide budget: one slot per logical CPU at init.
 var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Telemetry: since TryAcquire never blocks, "token acquisition wait" shows
+// up not as latency but as the grant/deny split — every deny is work that
+// ran inline (serialized) instead of on an extra goroutine. The in-use
+// gauge exposes instantaneous budget pressure.
+var (
+	mAcquired = telemetry.Default().Counter(
+		"blasys_sched_tokens_acquired_total",
+		"Goroutine tokens granted by the machine-wide budget.")
+	mInline = telemetry.Default().Counter(
+		"blasys_sched_inline_runs_total",
+		"Token denials, i.e. fan-out work serialized onto the calling goroutine.")
+	mInUse = telemetry.Default().Gauge(
+		"blasys_sched_tokens_in_use",
+		"Goroutine tokens currently held.")
+)
 
 // TryAcquire claims one goroutine token without blocking. It returns true
 // when the caller may spawn one extra worker goroutine; the caller must
@@ -30,14 +50,20 @@ var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
 func TryAcquire() bool {
 	select {
 	case tokens <- struct{}{}:
+		mAcquired.Inc()
+		mInUse.Add(1)
 		return true
 	default:
+		mInline.Inc()
 		return false
 	}
 }
 
 // Release returns a token claimed by TryAcquire.
-func Release() { <-tokens }
+func Release() {
+	<-tokens
+	mInUse.Add(-1)
+}
 
 // Budget reports the total token count (the machine-wide cap on extra
 // worker goroutines).

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/bmf"
 )
@@ -25,15 +27,15 @@ import (
 // Unknown value types pass through as cache misses rather than failing the
 // flow.
 type DiskCache struct {
-	dir  string
-	logf func(format string, args ...any)
+	dir string
+	log *slog.Logger
 
 	hits, misses, entries atomic.Uint64
 }
 
 // DiskCache returns the store's factorization cache layer.
 func (s *Store) DiskCache() *DiskCache {
-	c := &DiskCache{dir: filepath.Join(s.dir, cacheSubdir), logf: s.logf}
+	c := &DiskCache{dir: filepath.Join(s.dir, cacheSubdir), log: s.log}
 	c.entries.Store(countFiles(c.dir))
 	return c
 }
@@ -64,6 +66,13 @@ func (c *DiskCache) path(k bmf.Key) string {
 
 // Get loads the entry stored under k, counting the hit or miss.
 func (c *DiskCache) Get(k bmf.Key) (any, bool) {
+	start := time.Now()
+	v, ok := c.get(k)
+	bmf.ObserveCacheGet("disk", ok, time.Since(start))
+	return v, ok
+}
+
+func (c *DiskCache) get(k bmf.Key) (any, bool) {
 	b, err := os.ReadFile(c.path(k))
 	if err != nil {
 		c.misses.Add(1)
@@ -71,7 +80,7 @@ func (c *DiskCache) Get(k bmf.Key) (any, bool) {
 	}
 	var e diskEntry
 	if err := json.Unmarshal(b, &e); err != nil {
-		c.logf("store: cache entry %x corrupt: %v (removing)", k[:4], err)
+		c.log.Warn("store: removing corrupt cache entry", "key", fmt.Sprintf("%x", k[:4]), "err", err)
 		_ = os.Remove(c.path(k))
 		c.misses.Add(1)
 		return nil, false
@@ -108,7 +117,7 @@ func (c *DiskCache) Put(k bmf.Key, v any) {
 		return // content-addressed: an existing entry is already correct
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.logf("store: cache put %x: %v", k[:4], err)
+		c.log.Warn("store: cache put failed", "key", fmt.Sprintf("%x", k[:4]), "err", err)
 		return
 	}
 	// No fsync: a cache entry lost to a power cut merely costs one
@@ -117,7 +126,7 @@ func (c *DiskCache) Put(k bmf.Key, v any) {
 		return json.NewEncoder(w).Encode(&e)
 	})
 	if err != nil {
-		c.logf("store: cache put %x: %v", k[:4], err)
+		c.log.Warn("store: cache put failed", "key", fmt.Sprintf("%x", k[:4]), "err", err)
 		return
 	}
 	c.entries.Add(1)
@@ -168,7 +177,16 @@ func (s *Store) TieredCache() *TieredCache {
 }
 
 // Get hits the memory layer, then the disk layer (promoting into memory).
+// Each layer records its own telemetry tier; the combined lookup reports as
+// tier "tiered".
 func (c *TieredCache) Get(k bmf.Key) (any, bool) {
+	start := time.Now()
+	v, ok := c.get(k)
+	bmf.ObserveCacheGet("tiered", ok, time.Since(start))
+	return v, ok
+}
+
+func (c *TieredCache) get(k bmf.Key) (any, bool) {
 	if v, ok := c.mem.Get(k); ok {
 		c.hits.Add(1)
 		return v, true

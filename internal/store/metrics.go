@@ -1,0 +1,32 @@
+package store
+
+import (
+	"github.com/blasys-go/blasys/internal/telemetry"
+)
+
+// Durability-layer telemetry. The journal/fsync/checkpoint histograms are
+// the service's write-amplification dashboard: every journal append, every
+// fsync forced by a terminal record, and every atomic checkpoint replace is
+// timed. Replay counters quantify what a restart recovered.
+var (
+	mJournalAppend = telemetry.Default().Histogram(
+		"blasys_store_journal_append_seconds",
+		"Latency of one journal record append (encode + write, excluding fsync).",
+		telemetry.DurationBuckets)
+	mFsync = telemetry.Default().Histogram(
+		"blasys_store_fsync_seconds",
+		"Latency of journal fsyncs (terminal states, requests, results).",
+		telemetry.DurationBuckets)
+	mCheckpointWrite = telemetry.Default().Histogram(
+		"blasys_store_checkpoint_write_seconds",
+		"Latency of one atomic checkpoint replace (write + fsync + rename).",
+		telemetry.DurationBuckets)
+	mReplay = telemetry.Default().Histogram(
+		"blasys_store_replay_seconds",
+		"Wall time of one full store replay at startup.",
+		telemetry.DurationBuckets)
+	mReplayJobs = telemetry.Default().CounterVec(
+		"blasys_store_replay_jobs_total",
+		"Jobs folded out of journals during replay, by outcome.",
+		"outcome")
+)

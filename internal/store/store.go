@@ -32,7 +32,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
 const (
@@ -54,8 +55,8 @@ const (
 // Store is a directory-backed job store. All methods are safe for concurrent
 // use; per-job journals serialize their own appends.
 type Store struct {
-	dir  string
-	logf func(format string, args ...any)
+	dir string
+	log *slog.Logger
 
 	mu       sync.Mutex
 	journals map[string]*Journal
@@ -70,7 +71,7 @@ func Open(dir string) (*Store, error) {
 	}
 	return &Store{
 		dir:      dir,
-		logf:     log.Printf,
+		log:      slog.Default(),
 		journals: make(map[string]*Journal),
 	}, nil
 }
@@ -78,11 +79,32 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// SetLogger redirects the store's warning messages (default log.Printf).
+// SetLogger redirects the store's warning messages through a printf-style
+// sink. Kept for compatibility; SetSlogger is the structured entry point.
 func (s *Store) SetLogger(logf func(format string, args ...any)) {
 	if logf != nil {
-		s.logf = logf
+		s.log = telemetry.LogfLogger(logf)
 	}
+}
+
+// SetSlogger redirects the store's warning messages to a structured logger
+// (default slog.Default()).
+func (s *Store) SetSlogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// Writable probes that the store's job directory accepts writes — the
+// readiness signal a serving process reports before accepting work.
+func (s *Store) Writable() error {
+	f, err := os.CreateTemp(filepath.Join(s.dir, jobsSubdir), ".probe*")
+	if err != nil {
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 func (s *Store) jobPath(id, ext string) string {
@@ -92,14 +114,15 @@ func (s *Store) jobPath(id, ext string) string {
 // entry is one journal line. Exactly one payload field is set, selected by
 // Type; Time stamps when the fact was recorded.
 type entry struct {
-	Type string    `json:"type"` // request | state | trace | result
+	Type string    `json:"type"` // request | state | trace | span | result
 	Time time.Time `json:"time"`
 
-	Request *RequestRecord   `json:"request,omitempty"`
-	State   string           `json:"state,omitempty"`
-	Error   string           `json:"error,omitempty"`
-	Trace   *core.TracePoint `json:"trace,omitempty"`
-	Result  *ResultRecord    `json:"result,omitempty"`
+	Request *RequestRecord        `json:"request,omitempty"`
+	State   string                `json:"state,omitempty"`
+	Error   string                `json:"error,omitempty"`
+	Trace   *core.TracePoint      `json:"trace,omitempty"`
+	Span    *telemetry.SpanRecord `json:"span,omitempty"`
+	Result  *ResultRecord         `json:"result,omitempty"`
 
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
@@ -146,6 +169,7 @@ func validID(id string) error {
 
 func (j *Journal) append(e entry, sync bool) error {
 	e.Time = time.Now().UTC()
+	start := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
@@ -154,8 +178,12 @@ func (j *Journal) append(e entry, sync bool) error {
 	if err := j.enc.Encode(&e); err != nil {
 		return fmt.Errorf("store: journal %s: %w", j.id, err)
 	}
+	mJournalAppend.Observe(time.Since(start).Seconds())
 	if sync {
-		return j.f.Sync()
+		fsyncStart := time.Now()
+		err := j.f.Sync()
+		mFsync.Observe(time.Since(fsyncStart).Seconds())
+		return err
 	}
 	return nil
 }
@@ -175,6 +203,12 @@ func (j *Journal) State(state, jobErr string) error {
 // Trace journals one committed exploration trace point.
 func (j *Journal) Trace(p core.TracePoint) error {
 	return j.append(entry{Type: "trace", Trace: &p}, false)
+}
+
+// Span journals one completed telemetry span (not fsynced: a span lost to a
+// crash only trims the restored timeline, it never affects results).
+func (j *Journal) Span(r telemetry.SpanRecord) error {
+	return j.append(entry{Type: "span", Span: &r}, false)
 }
 
 // Result journals the terminal result record (fsynced).
@@ -230,6 +264,7 @@ func (s *Store) WriteCheckpoint(id string, st *core.ExplorerState) error {
 	if err := validID(id); err != nil {
 		return err
 	}
+	start := time.Now()
 	err := WriteFileAtomic(s.jobPath(id, checkpointExt), true, func(w io.Writer) error {
 		_, werr := st.WriteTo(w)
 		return werr
@@ -237,6 +272,7 @@ func (s *Store) WriteCheckpoint(id string, st *core.ExplorerState) error {
 	if err != nil {
 		return fmt.Errorf("store: checkpoint %s: %w", id, err)
 	}
+	mCheckpointWrite.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -268,6 +304,7 @@ type JobRecord struct {
 
 	Request    *RequestRecord
 	Trace      []core.TracePoint
+	Spans      []telemetry.SpanRecord
 	Checkpoint *core.ExplorerState
 	Result     *ResultRecord
 
@@ -288,6 +325,8 @@ func (r *JobRecord) Terminal() bool {
 // replay reconstructs as much as the disk still holds, it never refuses the
 // whole store because one job's tail was torn by a crash.
 func (s *Store) Replay() ([]*JobRecord, error) {
+	start := time.Now()
+	defer func() { mReplay.Observe(time.Since(start).Seconds()) }()
 	dir := filepath.Join(s.dir, jobsSubdir)
 	names, err := os.ReadDir(dir)
 	if err != nil {
@@ -302,8 +341,14 @@ func (s *Store) Replay() ([]*JobRecord, error) {
 		id := strings.TrimSuffix(name, journalExt)
 		rec, err := s.replayJob(id)
 		if err != nil {
-			s.logf("store: replay %s: %v (skipping job)", id, err)
+			s.log.Warn("store: replay skipping job", "job", id, "err", err)
+			mReplayJobs.With("skipped").Inc()
 			continue
+		}
+		if rec.Terminal() {
+			mReplayJobs.With("terminal").Inc()
+		} else {
+			mReplayJobs.With("resumable").Inc()
 		}
 		recs = append(recs, rec)
 	}
@@ -332,8 +377,10 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 	// Trace points are keyed by exploration step: a job that crashed between
 	// journaling a trace point and its checkpoint re-journals that step after
 	// resuming, so replay keeps the first record per step (the duplicates are
-	// bit-identical — the walk is deterministic).
+	// bit-identical — the walk is deterministic). Spans dedup by ID the same
+	// way.
 	seenSteps := make(map[int]bool)
+	seenSpans := make(map[uint64]bool)
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -343,7 +390,7 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 		var e entry
 		if err := json.Unmarshal(raw, &e); err != nil {
 			rec.CorruptLines++
-			s.logf("store: journal %s line %d: %v (skipping record)", id, line, err)
+			s.log.Warn("store: skipping record (corrupt journal line)", "job", id, "line", line, "err", err)
 			continue
 		}
 		switch e.Type {
@@ -364,19 +411,27 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 				seenSteps[e.Trace.Step] = true
 				rec.Trace = append(rec.Trace, *e.Trace)
 			}
+		case "span":
+			// A job that resumed after a crash re-journals the stages it
+			// replays; keep the first record per span ID (they describe the
+			// same deterministic work).
+			if e.Span != nil && !seenSpans[e.Span.ID] {
+				seenSpans[e.Span.ID] = true
+				rec.Spans = append(rec.Spans, *e.Span)
+			}
 		case "result":
 			rec.Result = e.Result
 			rec.CacheHits, rec.CacheMisses = e.CacheHits, e.CacheMisses
 		default:
 			rec.CorruptLines++
-			s.logf("store: journal %s line %d: unknown record type %q (skipping record)", id, line, e.Type)
+			s.log.Warn("store: skipping unknown journal record type", "job", id, "line", line, "type", e.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		// A torn tail (e.g. crash mid-append past the scanner's buffer) loses
 		// the remainder of the journal, not the whole job.
 		rec.CorruptLines++
-		s.logf("store: journal %s: %v (truncating replay at line %d)", id, err, line)
+		s.log.Warn("store: truncating journal replay", "job", id, "line", line, "err", err)
 	}
 	if rec.Request == nil {
 		return nil, fmt.Errorf("no readable request record")
@@ -387,7 +442,7 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 	if !rec.Terminal() {
 		cp, err := s.ReadCheckpoint(id)
 		if err != nil {
-			s.logf("store: checkpoint %s: %v (resuming from step 0)", id, err)
+			s.log.Warn("store: unreadable checkpoint, resuming from step 0", "job", id, "err", err)
 		} else {
 			rec.Checkpoint = cp
 		}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format page the way a strict
+// scraper would: every sample belongs to a family with exactly one HELP and
+// one TYPE line appearing before its samples, no family is declared twice,
+// sample values parse as floats, and histogram buckets are cumulative
+// (monotone non-decreasing in le order, with the +Inf bucket equal to
+// _count). It exists so both the package tests and the server's /metrics
+// test enforce the same format contract.
+func ValidateExposition(page string) error {
+	fams := make(map[string]*famState)
+	get := func(name string) *famState {
+		f := fams[name]
+		if f == nil {
+			f = &famState{buckets: make(map[string][]bucketSample), counts: make(map[string]float64)}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for ln, line := range strings.Split(page, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			f := get(parts[0])
+			if f.sawHelp {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, parts[0])
+			}
+			if f.samples {
+				return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, parts[0])
+			}
+			f.sawHelp = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			f := get(parts[0])
+			if f.declared > 0 {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			if f.samples {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, parts[0])
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", lineNo, parts[1])
+			}
+			f.typ = parts[1]
+			f.declared++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := sampleFamily(name, fams)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE", lineNo, name)
+		}
+		f := fams[fam]
+		if !f.sawHelp || f.declared == 0 {
+			return fmt.Errorf("line %d: family %s missing HELP or TYPE before samples", lineNo, fam)
+		}
+		f.samples = true
+		if f.typ == "histogram" {
+			key, le, isBucket := splitLE(labels)
+			switch {
+			case isBucket && strings.HasSuffix(name, "_bucket"):
+				f.buckets[key] = append(f.buckets[key], bucketSample{le: le, v: value})
+			case strings.HasSuffix(name, "_count"):
+				f.counts[labels] = value
+			}
+		}
+	}
+
+	for name, f := range fams {
+		for key, bs := range f.buckets {
+			sort.SliceStable(bs, func(i, j int) bool { return leLess(bs[i].le, bs[j].le) })
+			prev := -1.0
+			var infV float64
+			sawInf := false
+			for _, b := range bs {
+				if b.v < prev {
+					return fmt.Errorf("%s{%s}: bucket le=%q count %g < previous %g (not cumulative)", name, key, b.le, b.v, prev)
+				}
+				prev = b.v
+				if b.le == "+Inf" {
+					infV, sawInf = b.v, true
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("%s{%s}: missing +Inf bucket", name, key)
+			}
+			if c, ok := f.counts[key]; ok && c != infV {
+				return fmt.Errorf("%s{%s}: +Inf bucket %g != _count %g", name, key, infV, c)
+			}
+		}
+	}
+	return nil
+}
+
+type bucketSample struct {
+	le string
+	v  float64
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+	} else {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = rest[:i], rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// sampleFamily maps a sample name to its declared family, accounting for
+// histogram suffixes (_bucket/_sum/_count).
+func sampleFamily(name string, fams map[string]*famState) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := fams[base]; ok && f.typ == "histogram" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// famState tracks one declared family while validating a page.
+type famState struct {
+	typ      string
+	sawHelp  bool
+	samples  bool
+	buckets  map[string][]bucketSample // series key (non-le labels) -> buckets
+	counts   map[string]float64        // series key -> _count value
+	declared int
+}
+
+// splitLE strips the le label from a bucket's label set, returning the
+// remaining labels (the series key) and the le value.
+func splitLE(labels string) (key, le string, ok bool) {
+	parts := strings.Split(labels, ",")
+	rest := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(p, `le="`), `"`)
+			ok = true
+			continue
+		}
+		rest = append(rest, p)
+	}
+	return strings.Join(rest, ","), le, ok
+}
+
+// leLess orders bucket bounds numerically with +Inf last.
+func leLess(a, b string) bool {
+	if a == "+Inf" {
+		return false
+	}
+	if b == "+Inf" {
+		return true
+	}
+	av, _ := strconv.ParseFloat(a, 64)
+	bv, _ := strconv.ParseFloat(b, 64)
+	return av < bv
+}

@@ -12,6 +12,11 @@
 #            same server and assert both produce byte-identical result.blif
 #            and frontier dumps (resume-from-checkpoint == uninterrupted).
 #
+# Along the way the telemetry surface is scraped: /metrics before the kill
+# must count the completed job and carry the stage histograms with data;
+# after the restart it must count the restored job; and the restored job's
+# /timeline must still serve the journaled stage spans.
+#
 # No jq dependency: job ids are cut out of the pretty-printed JSON with sed.
 #
 # Usage: scripts/serve_smoke.sh [path-to-blasys-serve-binary]
@@ -46,13 +51,24 @@ start_server() {
 	"$BIN" -addr "$ADDR" -workers 1 -store-dir "$STORE" >>"$WORK/serve.log" 2>&1 &
 	PID=$!
 	for _ in $(seq 1 100); do
-		if curl -fs "$BASE/healthz" >/dev/null 2>&1; then
+		# Readiness (not just liveness): the API handler is live and the
+		# store replay finished — during replay /readyz answers 503.
+		if curl -fs "$BASE/readyz" >/dev/null 2>&1; then
 			return 0
 		fi
 		sleep 0.1
 	done
 	cat "$WORK/serve.log" >&2
-	fail "server did not become healthy"
+	fail "server did not become ready"
+}
+
+# metrics_has <pattern> — assert one line of the current /metrics page
+# matches the extended regex. The page is buffered first: piping curl
+# straight into grep -q trips pipefail when grep exits on an early match.
+metrics_has() {
+	local page
+	page=$(curl -fs "$BASE/metrics") || fail "/metrics fetch failed"
+	grep -Eq "$1" <<<"$page" || fail "/metrics missing: $1"
 }
 
 stop_server() {
@@ -95,6 +111,14 @@ JOB1=$(submit '{"benchmark": "Fig3", "config": {"samples": 4096, "seed": 7, "exp
 [ -n "$JOB1" ] || fail "phase 1 submission returned no job id"
 wait_done "$JOB1"
 fetch_artifacts "$JOB1" before
+# Telemetry before the kill: the completed job is counted and the stage
+# histograms carry observations from the run.
+metrics_has '^blasys_jobs_completed_total 1$'
+metrics_has '^blasys_engine_run_seconds_count 1$'
+metrics_has '^blasys_engine_queue_wait_seconds_count 1$'
+metrics_has '^blasys_bmf_factorize_seconds_count\{family="columns"\} [1-9]'
+metrics_has '^blasys_core_candidate_eval_seconds_count [1-9]'
+metrics_has '^blasys_store_checkpoint_write_seconds_count [1-9]'
 stop_server
 
 start_server
@@ -103,7 +127,14 @@ state=$(job_state "$JOB1")
 fetch_artifacts "$JOB1" after
 cmp "$WORK/before.blif" "$WORK/after.blif" || fail "result.blif changed across restart"
 cmp "$WORK/before.csv" "$WORK/after.csv" || fail "frontier changed across restart"
-echo "   ok: $JOB1 served byte-identically after restart"
+# Telemetry after the restart: the fresh process counted the restored job
+# and its replayed timeline still serves the journaled stage spans.
+metrics_has '^blasys_jobs_restored_total 1$'
+metrics_has '^blasys_store_replay_seconds_count 1$'
+TIMELINE=$(curl -fs "$BASE/v1/jobs/$JOB1/timeline") || fail "timeline fetch failed"
+grep -q '"name": "run"' <<<"$TIMELINE" ||
+	fail "restored job timeline lost its run span"
+echo "   ok: $JOB1 served byte-identically after restart (metrics + timeline intact)"
 
 echo "== phase 2: kill mid-exploration, resume == uninterrupted"
 LONGCFG='{"benchmark": "Mult8", "config": {"samples": 131072, "seed": 11, "explore_fully": true, "max_steps": 60}}'
@@ -122,7 +153,7 @@ stop_server
 start_server
 # The interrupted job was re-enqueued and resumes from its checkpoint; the
 # startup log records the replay outcome.
-grep -q "1 interrupted jobs re-enqueued" "$WORK/serve.log" ||
+grep -q "store replayed.*resumed=1" "$WORK/serve.log" ||
 	echo "   note: job finished before the kill landed; comparing terminal results instead"
 wait_done "$JOB2" 1200
 fetch_artifacts "$JOB2" resumed
