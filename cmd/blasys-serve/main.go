@@ -101,6 +101,7 @@ import (
 	"time"
 
 	"github.com/blasys-go/blasys/internal/engine"
+	"github.com/blasys-go/blasys/internal/faults"
 	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/telemetry"
 )
@@ -115,6 +116,10 @@ type options struct {
 	pprofAddr   string
 	storeDir    string
 	resume      bool
+	dedup       bool
+	faults      string
+	faultsSeed  int64
+	faultAdmin  bool
 	logLevel    string
 	logFormat   string
 }
@@ -129,6 +134,10 @@ func main() {
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables the side listener")
 	flag.StringVar(&o.storeDir, "store-dir", "", "durable job store directory (empty = in-memory only: jobs do not survive restarts)")
 	flag.BoolVar(&o.resume, "resume", true, "with -store-dir, re-enqueue jobs the store recorded as queued or running, continuing each from its last checkpoint")
+	flag.BoolVar(&o.dedup, "dedup", true, "attach identical submissions (same circuit, spec, config, deadline) to one retained execution instead of running twice")
+	flag.StringVar(&o.faults, "faults", "", "seeded store fault schedule for chaos testing, e.g. 'journal.append:after=2,times=3,err=eio;checkpoint.write:err=enospc' (requires -store-dir)")
+	flag.Int64Var(&o.faultsSeed, "faults-seed", 1, "deterministic seed for probabilistic -faults rules")
+	flag.BoolVar(&o.faultAdmin, "fault-admin", false, "mount the /debug/faults control surface for installing fault schedules at runtime (requires -store-dir; chaos testing only)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log threshold: debug|info|warn|error")
 	flag.StringVar(&o.logFormat, "log-format", "text", "log line format: text|json")
 	flag.Parse()
@@ -212,6 +221,17 @@ func run(o options) error {
 		defer st.Close()
 		st.SetSlogger(logger)
 		logger.Info("blasys-serve: durable store open", "dir", o.storeDir, "resume", o.resume)
+		if o.faults != "" {
+			rules, err := faults.ParseSchedule(o.faults)
+			if err != nil {
+				return fmt.Errorf("-faults: %w", err)
+			}
+			st.SetFaults(faults.New(o.faultsSeed).Add(rules...))
+			logger.Warn("blasys-serve: store fault injection active",
+				"schedule", o.faults, "seed", o.faultsSeed)
+		}
+	} else if o.faults != "" || o.faultAdmin {
+		return errors.New("-faults and -fault-admin require -store-dir")
 	}
 	eng := engine.New(engine.Options{
 		Workers:        o.workers,
@@ -219,6 +239,7 @@ func run(o options) error {
 		JobParallelism: o.parallelism,
 		Store:          st,
 		Resume:         o.resume,
+		Dedup:          o.dedup,
 		Logger:         logger,
 	})
 	// On SIGTERM/SIGINT the HTTP listener drains first, then Close cancels
@@ -236,6 +257,10 @@ func run(o options) error {
 	var serverOpts []engine.ServerOption
 	if o.pprofMux {
 		serverOpts = append(serverOpts, engine.WithPprof())
+	}
+	if o.faultAdmin {
+		serverOpts = append(serverOpts, engine.WithFaultAdmin())
+		logger.Warn("blasys-serve: /debug/faults admin surface mounted")
 	}
 	api := http.Handler(engine.NewServer(eng, serverOpts...))
 	handler.Store(&api)

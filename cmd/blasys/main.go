@@ -18,7 +18,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +73,7 @@ func main() {
 		outPath      = flag.String("out", "", "write the chosen approximate netlist (suffix .v or .blif)")
 		ckptPath     = flag.String("checkpoint", "", "persist the exploration state to this file after every committed step (atomically replaced)")
 		resumePath   = flag.String("resume", "", "resume the exploration from a -checkpoint file (a missing file starts fresh)")
+		deadline     = flag.Duration("deadline", 0, "wall-clock budget for the exploration (0 = unlimited); on expiry the run stops with the last committed -checkpoint holding the best-so-far state")
 		verbose      = flag.Bool("v", false, "log progress")
 		logLevel     = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 		logFormat    = flag.String("log-format", "text", "log line format: text|json")
@@ -82,7 +85,7 @@ func main() {
 	}
 	if err := run(*benchName, *blifPath, *k, *m, *threshold, *metricName, *samples,
 		*finalSamples, *seed, *weighted, *semiring, *full, *maxSteps, *lazy, *workers,
-		*tracePath, *frontierPath, *outPath, *ckptPath, *resumePath, *verbose); err != nil {
+		*tracePath, *frontierPath, *outPath, *ckptPath, *resumePath, *deadline, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blasys:", err)
 		os.Exit(1)
 	}
@@ -105,7 +108,8 @@ func setupLogging(format, level string) error {
 
 func run(benchName, blifPath string, k, m int, threshold float64, metricName string,
 	samples, finalSamples int, seed int64, weighted bool, semiring string,
-	full bool, maxSteps int, lazy bool, workers int, tracePath, frontierPath, outPath, ckptPath, resumePath string, verbose bool) error {
+	full bool, maxSteps int, lazy bool, workers int, tracePath, frontierPath, outPath, ckptPath, resumePath string,
+	deadline time.Duration, verbose bool) error {
 
 	metric, ok := metricNames[metricName]
 	if !ok {
@@ -179,7 +183,20 @@ func run(benchName, blifPath string, k, m int, threshold float64, metricName str
 		circ.Name, circ.NumInputs(), circ.NumOutputs(), circ.NumGates(),
 		accMet.Area, accMet.Power, accMet.Delay)
 
-	res, err := core.Approximate(circ, spec, cfg)
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := core.ApproximateCtx(ctx, circ, spec, cfg)
+	if errors.Is(err, context.DeadlineExceeded) {
+		if ckptPath != "" {
+			return fmt.Errorf("deadline %s exceeded; best-so-far state is in %s (resume with -resume %s, or raise -deadline)",
+				deadline, ckptPath, ckptPath)
+		}
+		return fmt.Errorf("deadline %s exceeded (pass -checkpoint to keep the best-so-far state next time)", deadline)
+	}
 	if err != nil {
 		return err
 	}

@@ -85,6 +85,13 @@ type JobConfig struct {
 	Workers    int  `json:"workers,omitempty"`
 	SynthExact bool `json:"synth_exact,omitempty"`
 
+	// DeadlineMS bounds the job's run time in milliseconds (0 = none). An
+	// expired job finishes in the "timeout" terminal state with its
+	// best-so-far frontier preserved. The deadline also drives admission:
+	// a submission whose estimated queue wait already exceeds it is rejected
+	// with 429 + Retry-After instead of being queued to die.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
 	// Outputs overrides the output interpretation; nil means one unsigned
 	// bus over all outputs (or the benchmark's own spec for benchmark jobs).
 	Outputs []GroupConfig `json:"outputs,omitempty"`

@@ -17,6 +17,9 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -28,6 +31,7 @@ import (
 	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/bmf"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/sched"
 	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/telemetry"
 )
@@ -38,7 +42,34 @@ var (
 	ErrClosed     = errors.New("engine: engine closed")
 	ErrNoSuchJob  = errors.New("engine: no such job")
 	ErrNotRunning = errors.New("engine: job not cancellable")
+	// ErrOverloaded marks deadline-aware load shedding: the submission was
+	// rejected because its estimated queue wait already exceeds its run-time
+	// deadline, so queueing it would only let it die waiting. Match with
+	// errors.Is; the concrete *OverloadError carries the retry hint.
+	ErrOverloaded = errors.New("engine: overloaded")
 )
+
+// OverloadError is the concrete rejection returned when admission control
+// sheds a deadlined submission: the estimated queue wait (from the engine's
+// observed queue-wait/run-time histograms, inflated by the machine-wide
+// sched token pressure) exceeds the job's deadline. RetryAfter is the
+// suggested back-off — the estimated wait itself, which the HTTP layer
+// surfaces as a Retry-After header.
+type OverloadError struct {
+	EstimatedWait time.Duration
+	Deadline      time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded: estimated queue wait %s exceeds deadline %s",
+		e.EstimatedWait.Round(time.Millisecond), e.Deadline)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfter is the suggested client back-off before resubmitting.
+func (e *OverloadError) RetryAfter() time.Duration { return e.EstimatedWait }
 
 // Options configures an Engine. The zero value is completed by defaults:
 // 2 workers, a queue of 64, a fresh shared MemoryCache, and per-job
@@ -68,6 +99,13 @@ type Options struct {
 	// tiered (memory over disk) factorization cache is used, so warm
 	// factorizations survive restarts too.
 	Store *store.Store
+	// Dedup enables content-addressed request dedup: a submission identical
+	// to a retained one (same circuit provenance, spec, config, and deadline)
+	// attaches to the existing execution instead of starting a second — the
+	// flow is deterministic, so one run's bytes answer every identical
+	// request. Cancelled, failed, and timed-out jobs never satisfy a dedup
+	// hit (a resubmission after those deserves a fresh run).
+	Dedup bool
 	// Resume controls whether New re-enqueues jobs the store recorded as
 	// queued or running (each continues from its last exploration checkpoint,
 	// or step 0 without one). With Resume false such jobs are left on disk
@@ -115,6 +153,16 @@ type Metrics struct {
 	JobsCancelled uint64 `json:"jobs_cancelled"`
 	JobsRunning   int64  `json:"jobs_running"`
 	QueueDepth    int    `json:"queue_depth"`
+	// JobsTimeout counts jobs whose run-time deadline expired; JobsDeduped
+	// counts submissions attached to an identical retained execution;
+	// JobsShed counts deadlined submissions rejected at admission because
+	// their estimated queue wait exceeded their deadline.
+	JobsTimeout uint64 `json:"jobs_timeout,omitempty"`
+	JobsDeduped uint64 `json:"jobs_deduped,omitempty"`
+	JobsShed    uint64 `json:"jobs_shed,omitempty"`
+	// Degraded reports whether the engine is running memory-only because the
+	// store's write circuit breaker is open.
+	Degraded bool `json:"degraded,omitempty"`
 	// JobsRestored counts terminal jobs loaded from the store at startup;
 	// JobsResumed counts interrupted jobs re-enqueued from the store.
 	JobsRestored uint64         `json:"jobs_restored,omitempty"`
@@ -135,13 +183,20 @@ type Engine struct {
 	jobs   map[string]*Job
 	order  []string // submission order, for List
 	closed bool
+	// dedup is the content-address index (request digest -> job ID) behind
+	// Options.Dedup; entries die with their jobs (eviction, cancel/fail).
+	dedup map[string]string
 
 	queue chan *Job
 	wg    sync.WaitGroup
 
 	completed, failed, cancelled atomic.Uint64
+	timedOut, deduped, shed      atomic.Uint64
 	restored, resumed            atomic.Uint64
 	running                      atomic.Int64
+	// degraded mirrors the store breaker: 1 while the engine is running
+	// memory-only because the store's circuit breaker is open.
+	degraded atomic.Bool
 
 	// met is this engine's metric registry (see metrics.go). The lifecycle
 	// counters mirror the atomics above; the atomics stay authoritative for
@@ -165,6 +220,7 @@ func New(opts Options) *Engine {
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
+		dedup:   make(map[string]string),
 		// Room for every re-enqueued job on top of the configured bound, so
 		// a full recovered backlog cannot deadlock startup.
 		queue: make(chan *Job, opts.QueueSize+requeueCount),
@@ -183,6 +239,14 @@ func New(opts Options) *Engine {
 			e.met.restored.Inc()
 		}
 	}
+	// Degraded-mode wiring: when the store's write circuit breaker opens the
+	// engine keeps running memory-only (subscribers hear about it); when a
+	// half-open probe succeeds the engine reconciles — re-journaling from
+	// memory everything the degraded window failed to persist — so restart
+	// invariants hold again.
+	if opts.Store != nil {
+		opts.Store.OnStateChange(e.onDegraded, e.onRecover)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -194,8 +258,19 @@ func New(opts Options) *Engine {
 // worker. Fails fast with ErrQueueFull when the bounded queue is at capacity
 // and ErrClosed after Close.
 func (e *Engine) Submit(req Request) (*Job, error) {
+	j, _, err := e.SubmitAttach(req)
+	return j, err
+}
+
+// SubmitAttach is Submit plus the dedup signal: with Options.Dedup on, a
+// submission content-identical to a retained job returns that job with
+// deduped true — the caller attached to an existing execution and shares its
+// result bytes — instead of enqueueing a second run. Deadlined submissions
+// may also be rejected at admission with an *OverloadError (load shedding)
+// when their estimated queue wait already exceeds their deadline.
+func (e *Engine) SubmitAttach(req Request) (job *Job, deduped bool, err error) {
 	if req.Circuit == nil {
-		return nil, fmt.Errorf("engine: nil circuit")
+		return nil, false, fmt.Errorf("engine: nil circuit")
 	}
 	// Durable engines canonicalize provenance-free circuits through BLIF:
 	// the journal stores BLIF text and a resumed job re-parses it, and a
@@ -206,11 +281,11 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if e.opts.Store != nil && req.SourceBenchmark == "" && req.SourceBLIF == "" {
 		var sb strings.Builder
 		if err := blif.Write(&sb, req.Circuit); err != nil {
-			return nil, fmt.Errorf("engine: canonicalize circuit: %w", err)
+			return nil, false, fmt.Errorf("engine: canonicalize circuit: %w", err)
 		}
 		circ, err := blif.Read(strings.NewReader(sb.String()))
 		if err != nil {
-			return nil, fmt.Errorf("engine: canonicalize circuit: %w", err)
+			return nil, false, fmt.Errorf("engine: canonicalize circuit: %w", err)
 		}
 		req.Circuit = circ
 		req.SourceBLIF = sb.String()
@@ -223,10 +298,35 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if req.Config.Parallelism <= 0 && e.opts.JobParallelism > 0 {
 		req.Config.Parallelism = e.opts.JobParallelism
 	}
-	job, err := newJob(req)
-	if err != nil {
-		return nil, err
+	// Content-addressed dedup: an identical retained submission (post-
+	// canonicalization, post-resolution, deadline included) answers this one.
+	var dedupKey string
+	if e.opts.Dedup {
+		dedupKey, err = digestRequest(req)
+		if err != nil {
+			return nil, false, err
+		}
+		if existing := e.dedupLookup(dedupKey); existing != nil {
+			e.deduped.Add(1)
+			e.met.deduped.Inc()
+			return existing, true, nil
+		}
 	}
+	// Deadline-aware load shedding: when the estimated queue wait already
+	// exceeds the job's run-time deadline, queueing it would only let it die
+	// waiting — reject now with a retry hint instead.
+	if req.Deadline > 0 {
+		if est := e.EstimateQueueWait(); est > req.Deadline {
+			e.shed.Add(1)
+			e.met.shed.Inc()
+			return nil, false, &OverloadError{EstimatedWait: est, Deadline: req.Deadline}
+		}
+	}
+	job, err = newJob(req)
+	if err != nil {
+		return nil, false, err
+	}
+	job.dedupKey = dedupKey
 	e.attachTimeline(job)
 	// Cheap rejection pre-check so the overload path stays disk-free: a
 	// submission bound for ErrQueueFull/ErrClosed should not pay journal
@@ -237,10 +337,10 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	closed, full := e.closed, len(e.queue) >= e.opts.QueueSize
 	e.mu.Unlock()
 	if closed {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if full {
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	// Journal the request and queued state BEFORE the job becomes runnable:
 	// once it is on the queue a worker may pick it up (and even finish it)
@@ -251,7 +351,18 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if e.closed {
 		e.mu.Unlock()
 		e.persistDiscard(job)
-		return nil, ErrClosed
+		return nil, false, ErrClosed
+	}
+	// Dedup re-check under the authoritative lock: a content-identical
+	// submission may have been enqueued between the early lookup and here.
+	if dedupKey != "" {
+		if existing := e.dedupLookupLocked(dedupKey); existing != nil {
+			e.mu.Unlock()
+			e.persistDiscard(job)
+			e.deduped.Add(1)
+			e.met.deduped.Inc()
+			return existing, true, nil
+		}
 	}
 	// Admission is bounded by QueueSize, not channel capacity: the channel
 	// gets extra headroom for a replayed backlog at startup, but that
@@ -261,15 +372,92 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if len(e.queue) >= e.opts.QueueSize {
 		e.mu.Unlock()
 		e.persistDiscard(job)
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	e.queue <- job
 	e.jobs[job.ID] = job
 	e.order = append(e.order, job.ID)
+	if dedupKey != "" {
+		e.dedup[dedupKey] = job.ID
+	}
 	evicted := e.pruneLocked()
 	e.mu.Unlock()
 	e.persistRemove(evicted)
-	return job, nil
+	return job, false, nil
+}
+
+// digestRequest computes a submission's content address: the SHA-256 of its
+// journal-form request record (circuit provenance, spec, full config, and
+// deadline). Two submissions with the same digest run the same deterministic
+// walk and produce the same bytes.
+func digestRequest(req Request) (string, error) {
+	rec, err := store.NewRequestRecord(req.Circuit, req.Spec, req.Config,
+		req.SourceBenchmark, req.SourceBLIF, req.Deadline)
+	if err != nil {
+		return "", fmt.Errorf("engine: dedup digest: %w", err)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return "", fmt.Errorf("engine: dedup digest: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// dedupLookup resolves a content address to an attachable retained job.
+func (e *Engine) dedupLookup(key string) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dedupLookupLocked(key)
+}
+
+// dedupLookupLocked is dedupLookup under an already-held e.mu. A hit must be
+// attachable: queued, running, or done. Cancelled/failed/timed-out jobs are
+// dropped from the index here (lazily) so a resubmission gets a fresh run.
+func (e *Engine) dedupLookupLocked(key string) *Job {
+	id, ok := e.dedup[key]
+	if !ok {
+		return nil
+	}
+	job, ok := e.jobs[id]
+	if !ok {
+		delete(e.dedup, key)
+		return nil
+	}
+	switch job.State() {
+	case StateQueued, StateRunning, StateDone:
+		return job
+	default:
+		delete(e.dedup, key)
+		return nil
+	}
+}
+
+// EstimateQueueWait predicts how long a submission entering the queue now
+// would wait for a worker: the depth ahead of it spread across the worker
+// pool, paced by the observed mean run time (falling back to the observed
+// mean queue wait when no run has finished yet), and inflated by the
+// machine-wide sched token pressure — a saturated goroutine budget means
+// every running job is executing below its configured parallelism, so
+// dispatch waves drain slower than the per-job history suggests.
+func (e *Engine) EstimateQueueWait() time.Duration {
+	depth := len(e.queue)
+	busy := e.running.Load() >= int64(e.opts.Workers)
+	if depth == 0 && !busy {
+		return 0 // a worker is idle: dispatch is immediate
+	}
+	meanRun := e.met.runSeconds.Mean()
+	if meanRun == 0 {
+		meanRun = e.met.queueWait.Mean()
+	}
+	if meanRun == 0 {
+		return 0 // no history yet: admit optimistically
+	}
+	// Dispatch waves ahead of a new arrival: the queued depth plus this
+	// submission, drained opts.Workers at a time.
+	waves := (depth + e.opts.Workers) / e.opts.Workers
+	est := time.Duration(meanRun * float64(waves) * float64(time.Second))
+	return est + time.Duration(float64(est)*sched.Pressure())
 }
 
 // Get returns a job by ID.
@@ -314,7 +502,7 @@ func (e *Engine) Cancel(id string) (State, error) {
 		e.cancelled.Add(1)
 		e.met.cancelled.Inc()
 		e.persistState(job, StateCancelled, "cancelled while queued")
-		e.persistClose(job)
+		e.persistClose(job, false)
 		return StateCancelled, nil
 	}
 	job.mu.Lock()
@@ -352,6 +540,9 @@ func (e *Engine) pruneLocked() []string {
 	kept := e.order[:0]
 	for _, id := range e.order {
 		if terminal > e.opts.RetainJobs && e.jobs[id].State().Terminal() {
+			if key := e.jobs[id].dedupKey; key != "" && e.dedup[key] == id {
+				delete(e.dedup, key)
+			}
 			delete(e.jobs, id)
 			evicted = append(evicted, id)
 			terminal--
@@ -371,16 +562,28 @@ func (e *Engine) Metrics() Metrics {
 		JobsCancelled: e.cancelled.Load(),
 		JobsRunning:   e.running.Load(),
 		QueueDepth:    len(e.queue),
+		JobsTimeout:   e.timedOut.Load(),
+		JobsDeduped:   e.deduped.Load(),
+		JobsShed:      e.shed.Load(),
+		Degraded:      e.degraded.Load(),
 		JobsRestored:  e.restored.Load(),
 		JobsResumed:   e.resumed.Load(),
 		Cache:         e.cache.Stats(),
 	}
 }
 
+// Store exposes the engine's durable store (nil for a memory-only engine) —
+// used by the serving layer for readiness detail and the fault-admin
+// surface.
+func (e *Engine) Store() *store.Store { return e.opts.Store }
+
 // Ready reports whether the engine can accept and durably record work: nil
 // for an open engine whose store (if any) is writable, the reason otherwise.
-// This is the readiness half of the health surface; liveness is just the
-// process answering at all.
+// While the store's circuit breaker is open the *store.DegradedError is
+// returned without touching the disk — the breaker owns recovery probing,
+// and a readiness check must stay cheap under exactly the conditions that
+// made the disk slow. This is the readiness half of the health surface;
+// liveness is just the process answering at all.
 func (e *Engine) Ready() error {
 	e.mu.Lock()
 	closed := e.closed
@@ -389,9 +592,158 @@ func (e *Engine) Ready() error {
 		return ErrClosed
 	}
 	if e.opts.Store != nil {
+		if err := e.opts.Store.Degraded(); err != nil {
+			return err
+		}
 		return e.opts.Store.Writable()
 	}
 	return nil
+}
+
+// onDegraded runs once when the store's circuit breaker opens: the engine
+// flips to memory-only operation (jobs keep running; persists short-circuit
+// and mark their jobs for reconciliation) and live subscribers hear about it.
+func (e *Engine) onDegraded(cause error) {
+	e.degraded.Store(true)
+	e.met.degraded.Set(1)
+	e.opts.Logger.Warn("engine: store degraded, running memory-only", "cause", cause)
+	for _, job := range e.liveJobs() {
+		job.publishDegraded(cause.Error())
+	}
+}
+
+// onRecover runs once when a half-open probe closes the breaker again: the
+// engine reconciles — re-journaling from memory everything the degraded
+// window dropped — and then tells subscribers durability is back.
+func (e *Engine) onRecover() {
+	e.degraded.Store(false)
+	e.met.degraded.Set(0)
+	reconciled := e.reconcile()
+	e.opts.Logger.Info("engine: store recovered, reconciled", "jobs", reconciled)
+	for _, job := range e.liveJobs() {
+		job.publishRecovered()
+	}
+}
+
+// liveJobs snapshots every non-terminal job.
+func (e *Engine) liveJobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []*Job
+	for _, id := range e.order {
+		if j := e.jobs[id]; j != nil && !j.State().Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// reconcile re-journals every dirty job from memory after the store
+// recovered: a job that reached a terminal state while degraded gets its
+// request, terminal state, and result (or, for timeouts, checkpoint) durably
+// recorded now — restoring the invariant that a restart serves exactly what
+// this process served; a still-running dirty job gets its request, running
+// state, and latest checkpoint re-persisted so a crash after recovery
+// resumes it correctly. Returns the number of jobs fully reconciled; a job
+// whose re-journaling fails again stays dirty for the next recovery.
+func (e *Engine) reconcile() int {
+	if e.opts.Store == nil {
+		return 0
+	}
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		jobs = append(jobs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, job := range jobs {
+		if job == nil || !job.dirty() {
+			continue
+		}
+		if e.reconcileJob(job) {
+			n++
+		}
+	}
+	return n
+}
+
+// reconcileJob re-journals one dirty job from memory; reports success.
+func (e *Engine) reconcileJob(job *Job) bool {
+	warn := func(what string, err error) bool {
+		e.opts.Logger.Warn("engine: reconcile "+what+" failed; job stays dirty",
+			"job", job.ID, "err", err)
+		return false
+	}
+	jnl := job.journal()
+	if jnl == nil {
+		fresh, err := e.opts.Store.Journal(job.ID)
+		if err != nil {
+			return warn("journal open", err)
+		}
+		jnl = fresh
+		job.mu.Lock()
+		job.jnl = jnl
+		job.mu.Unlock()
+	}
+	// Re-journal the request unconditionally: replay folds records last-wins,
+	// so a duplicate is harmless, while a missing request record (journal
+	// open failed while degraded) would make the job vanish on restart.
+	req, err := store.NewRequestRecord(job.req.Circuit, job.req.Spec, job.req.Config,
+		job.req.SourceBenchmark, job.req.SourceBLIF, job.req.Deadline)
+	if err != nil {
+		return warn("request encode", err)
+	}
+	if err := jnl.Request(req); err != nil {
+		return warn("request", err)
+	}
+	state := job.State()
+	switch state {
+	case StateDone:
+		job.mu.Lock()
+		res := job.result
+		hits, misses := job.cacheHits, job.cacheMisses
+		job.mu.Unlock()
+		if res != nil {
+			rec, err := store.NewResultRecord(res)
+			if err != nil {
+				return warn("result encode", err)
+			}
+			if err := jnl.Result(rec, hits, misses); err != nil {
+				return warn("result", err)
+			}
+		}
+		if err := jnl.State(string(StateDone), ""); err != nil {
+			return warn("state", err)
+		}
+	case StateTimeout:
+		if cp := job.checkpoint(); cp != nil {
+			if err := e.opts.Store.WriteCheckpoint(job.ID, cp); err != nil {
+				return warn("checkpoint", err)
+			}
+		}
+		if err := jnl.State(string(StateTimeout), job.errString()); err != nil {
+			return warn("state", err)
+		}
+	case StateFailed, StateCancelled:
+		if err := jnl.State(string(state), job.errString()); err != nil {
+			return warn("state", err)
+		}
+	default: // queued or running: durable resume needs the latest snapshot
+		if err := jnl.State(string(state), ""); err != nil {
+			return warn("state", err)
+		}
+		if cp := job.checkpoint(); cp != nil {
+			if err := e.opts.Store.WriteCheckpoint(job.ID, cp); err != nil {
+				return warn("checkpoint", err)
+			}
+		}
+	}
+	job.clearDirty()
+	if state.Terminal() {
+		e.persistClose(job, state == StateTimeout)
+	}
+	return true
 }
 
 // Close stops accepting submissions, cancels running jobs, and waits for the
@@ -453,6 +805,15 @@ func (e *Engine) run(job *Job) {
 	e.met.queueWait.Observe(job.queueWait().Seconds())
 	e.persistState(job, StateRunning, "")
 
+	// The deadline bounds run time, not queue wait: the budget starts now.
+	// A resumed job gets a fresh budget for its remaining work.
+	runCtx := ctx
+	if d := job.req.Deadline; d > 0 {
+		var cancelDeadline context.CancelFunc
+		runCtx, cancelDeadline = context.WithTimeout(ctx, d)
+		defer cancelDeadline()
+	}
+
 	cc := &countingCache{inner: e.cache, met: e.met}
 	cfg := job.req.Config
 	cfg.Cache = cc
@@ -461,8 +822,12 @@ func (e *Engine) run(job *Job) {
 		e.persistTrace(job, p)
 	}
 	cfg.Resume = job.resume
-	if e.opts.Store != nil {
-		cfg.Checkpoint = func(st core.ExplorerState) {
+	// The checkpoint hook runs store or not: the in-memory snapshot is what
+	// a timed-out job serves its best-so-far frontier from, and what
+	// reconciliation re-persists after a degraded window.
+	cfg.Checkpoint = func(st core.ExplorerState) {
+		job.setCheckpoint(&st)
+		if e.opts.Store != nil {
 			e.persistCheckpoint(job, &st)
 			job.publishCheckpoint(st.Step)
 		}
@@ -474,7 +839,7 @@ func (e *Engine) run(job *Job) {
 	cfg.Span = runSpan
 
 	runStart := time.Now()
-	res, err := core.ApproximateCtx(ctx, job.req.Circuit, job.req.Spec, cfg)
+	res, err := core.ApproximateCtx(runCtx, job.req.Circuit, job.req.Spec, cfg)
 	e.met.runSeconds.Observe(time.Since(runStart).Seconds())
 	// Close the spans before the terminal bookkeeping: ending them journals
 	// their records (the journal is still open here) and streams the stage
@@ -488,23 +853,44 @@ func (e *Engine) run(job *Job) {
 		e.met.completed.Inc()
 		e.persistResult(job, res, hits, misses)
 		job.finish(StateDone, res, nil, hits, misses)
-		e.persistClose(job)
-	case errors.Is(err, context.Canceled):
-		e.cancelled.Add(1)
-		e.met.cancelled.Inc()
-		job.finish(StateCancelled, nil, err, hits, misses)
-		if job.wasUserCancelled() {
+		e.persistClose(job, false)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Cancel-vs-deadline determinism: both signals can land in the same
+		// exploration step, and which ctx error the flow observes first is a
+		// race — so the terminal state must not depend on it. An explicit
+		// user cancel wins unconditionally (the flag is set before the
+		// cancellation is signalled); otherwise an expired deadline is a
+		// timeout; what remains is an engine-shutdown cancellation.
+		switch {
+		case job.wasUserCancelled():
+			e.cancelled.Add(1)
+			e.met.cancelled.Inc()
+			job.finish(StateCancelled, nil, context.Canceled, hits, misses)
 			// Explicit cancellation is terminal on disk too. An engine
 			// shutdown leaves the journal at "running" (with the latest
 			// checkpoint beside it), so a restart resumes the job instead.
-			e.persistState(job, StateCancelled, err.Error())
-			e.persistClose(job)
+			e.persistState(job, StateCancelled, context.Canceled.Error())
+			e.persistClose(job, false)
+		case errors.Is(err, context.DeadlineExceeded):
+			e.timedOut.Add(1)
+			e.met.timedOut.Inc()
+			terr := fmt.Errorf("engine: deadline %s exceeded: %w", job.req.Deadline, context.DeadlineExceeded)
+			job.finish(StateTimeout, nil, terr, hits, misses)
+			// A timeout is terminal but partial: journal the state, keep the
+			// checkpoint on disk — it is the durable record of the
+			// best-so-far frontier a restart serves.
+			e.persistState(job, StateTimeout, terr.Error())
+			e.persistClose(job, true)
+		default:
+			e.cancelled.Add(1)
+			e.met.cancelled.Inc()
+			job.finish(StateCancelled, nil, err, hits, misses)
 		}
 	default:
 		e.failed.Add(1)
 		e.met.failed.Inc()
 		job.finish(StateFailed, nil, err, hits, misses)
 		e.persistState(job, StateFailed, err.Error())
-		e.persistClose(job)
+		e.persistClose(job, false)
 	}
 }

@@ -18,6 +18,14 @@ const (
 	// EventStage carries one completed timeline span (queue, run, profile,
 	// explore, step), summarizing where the job just spent its time.
 	EventStage = "stage"
+	// EventDegraded announces that the store's circuit breaker opened while
+	// this job is live: the run continues memory-only, but progress recorded
+	// from here until the matching EventRecovered is not yet durable.
+	EventDegraded = "degraded"
+	// EventRecovered announces that the store recovered and the engine
+	// reconciled — everything the degraded window dropped has been
+	// re-journaled from memory.
+	EventRecovered = "recovered"
 )
 
 // Event is one entry of a job's live progress stream.
@@ -29,6 +37,8 @@ type Event struct {
 	// Step is the committed-step count covered by a checkpoint event.
 	Step   int            `json:"step,omitempty"`
 	Result *ResultSummary `json:"result,omitempty"`
+	// Reason carries the cause of an EventDegraded.
+	Reason string `json:"reason,omitempty"`
 	// Span is the completed stage of an EventStage event.
 	Span *telemetry.SpanRecord `json:"span,omitempty"`
 }
@@ -141,6 +151,20 @@ func (j *Job) closeSubsLocked() {
 func (j *Job) publishCheckpoint(step int) {
 	j.mu.Lock()
 	j.publishLocked(Event{Type: EventCheckpoint, Step: step})
+	j.mu.Unlock()
+}
+
+// publishDegraded announces degraded-mode entry to this job's subscribers.
+func (j *Job) publishDegraded(reason string) {
+	j.mu.Lock()
+	j.publishLocked(Event{Type: EventDegraded, Reason: reason})
+	j.mu.Unlock()
+}
+
+// publishRecovered announces degraded-mode exit (post-reconciliation).
+func (j *Job) publishRecovered() {
+	j.mu.Lock()
+	j.publishLocked(Event{Type: EventRecovered})
 	j.mu.Unlock()
 }
 

@@ -20,7 +20,7 @@ import (
 )
 
 // State is a job's lifecycle stage. Transitions are linear:
-// queued -> running -> {done, failed, cancelled}, with the shortcut
+// queued -> running -> {done, failed, cancelled, timeout}, with the shortcut
 // queued -> cancelled for jobs cancelled before a worker picks them up.
 type State string
 
@@ -31,11 +31,15 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateTimeout marks a job whose run-time deadline expired mid-walk. Its
+	// best-so-far frontier and checkpoint are preserved — a timed-out job is
+	// a partial answer, not a failure.
+	StateTimeout State = "timeout"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateTimeout
 }
 
 // Request is one unit of work for the engine: a circuit, its output
@@ -56,6 +60,12 @@ type Request struct {
 	// journaling.
 	SourceBenchmark string
 	SourceBLIF      string
+
+	// Deadline bounds the job's run time (not its queue wait): the worker
+	// wraps the run context with this budget and an expired job finishes as
+	// StateTimeout with its best-so-far frontier preserved. Zero = no bound.
+	// A resumed job gets a fresh budget for the remaining work.
+	Deadline time.Duration
 }
 
 // Job tracks one submitted approximation run.
@@ -90,6 +100,21 @@ type Job struct {
 	// restored carries a finished job's outcome as replayed from the store
 	// after a restart, standing in for result.
 	restored *restoredResult
+
+	// lastCheckpoint tracks the latest exploration snapshot the run handed
+	// to the Checkpoint hook (always kept, store or not): it is the
+	// best-so-far record a timed-out job serves its frontier from, and what
+	// reconciliation re-persists after degraded mode ends. cpFrontier caches
+	// the frontier lazily rebuilt from it.
+	lastCheckpoint *core.ExplorerState
+	cpFrontier     *core.Frontier
+	// persistDirty marks that at least one persist call failed (degraded
+	// store or plain I/O error) so reconciliation must re-journal this job
+	// from memory once the store recovers.
+	persistDirty bool
+	// dedupKey is the job's content address when submission dedup is on;
+	// the engine's dedup index entry is removed on eviction via this key.
+	dedupKey string
 
 	// timeline holds the job's stage spans; span is the root "job" span and
 	// queueSpan its first child, covering time spent waiting for a worker.
@@ -179,6 +204,52 @@ func (j *Job) wasUserCancelled() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.userCancel
+}
+
+// setCheckpoint records the run's latest exploration snapshot.
+func (j *Job) setCheckpoint(st *core.ExplorerState) {
+	j.mu.Lock()
+	j.lastCheckpoint = st
+	j.cpFrontier = nil
+	j.mu.Unlock()
+}
+
+// checkpoint returns the latest recorded exploration snapshot.
+func (j *Job) checkpoint() *core.ExplorerState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastCheckpoint
+}
+
+// markDirty flags the job for post-recovery reconciliation.
+func (j *Job) markDirty() {
+	j.mu.Lock()
+	j.persistDirty = true
+	j.mu.Unlock()
+}
+
+// dirty reports whether a persist call failed for this job.
+func (j *Job) dirty() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.persistDirty
+}
+
+// clearDirty resets the reconciliation flag after a successful re-journal.
+func (j *Job) clearDirty() {
+	j.mu.Lock()
+	j.persistDirty = false
+	j.mu.Unlock()
+}
+
+// errString renders the job's terminal error for the journal ("" when none).
+func (j *Job) errString() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		return ""
+	}
+	return j.err.Error()
 }
 
 // cancelQueued marks a still-queued job cancelled; the worker that later
@@ -393,7 +464,9 @@ func (j *Job) ResultBLIF() (string, error) {
 }
 
 // Frontier returns the job's recorded accuracy/area frontier (nil while the
-// job is unfinished or when none was recorded).
+// job is unfinished or when none was recorded). A timed-out job serves the
+// best-so-far frontier out of its last checkpoint — the partial answer the
+// deadline bought.
 func (j *Job) Frontier() *core.Frontier {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -402,6 +475,12 @@ func (j *Job) Frontier() *core.Frontier {
 		return j.result.Frontier
 	case j.restored != nil:
 		return j.restored.frontierLocked()
+	case j.state == StateTimeout && j.lastCheckpoint != nil:
+		if j.cpFrontier == nil && len(j.lastCheckpoint.Frontier) > 0 {
+			j.cpFrontier = core.RestoreFrontier(
+				j.lastCheckpoint.AccurateModelArea, j.lastCheckpoint.Frontier)
+		}
+		return j.cpFrontier
 	}
 	return nil
 }

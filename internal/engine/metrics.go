@@ -16,8 +16,15 @@ type engineMetrics struct {
 	completed *telemetry.Counter
 	failed    *telemetry.Counter
 	cancelled *telemetry.Counter
+	timedOut  *telemetry.Counter
+	deduped   *telemetry.Counter
+	shed      *telemetry.Counter
 	restored  *telemetry.Counter
 	resumed   *telemetry.Counter
+
+	// degraded mirrors the store breaker into this engine's exposition: 1
+	// while jobs run memory-only behind an open write circuit.
+	degraded *telemetry.Gauge
 
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
@@ -40,6 +47,14 @@ func newEngineMetrics() *engineMetrics {
 			"Jobs finished with an error."),
 		cancelled: reg.Counter("blasys_jobs_cancelled_total",
 			"Jobs cancelled before completing."),
+		timedOut: reg.Counter("blasys_jobs_timeout_total",
+			"Jobs whose run-time deadline expired (terminal state timeout, best-so-far frontier preserved)."),
+		deduped: reg.Counter("blasys_jobs_deduped_total",
+			"Submissions attached to an identical retained execution instead of running again."),
+		shed: reg.Counter("blasys_jobs_shed_total",
+			"Deadlined submissions rejected at admission: estimated queue wait exceeded the deadline."),
+		degraded: reg.Gauge("blasys_engine_degraded",
+			"1 while the engine runs memory-only behind an open store write circuit breaker."),
 		restored: reg.Counter("blasys_jobs_restored_total",
 			"Terminal jobs restored from the durable store at startup."),
 		resumed: reg.Counter("blasys_jobs_resumed_total",

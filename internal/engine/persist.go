@@ -10,7 +10,10 @@ import (
 // store as they happen and replaying the store into live jobs at startup.
 // Every persist helper is a no-op without a store and degrades to a logged
 // warning on I/O errors — the in-memory service keeps working when the disk
-// misbehaves; durability is best-effort, correctness is not.
+// misbehaves; durability is best-effort, correctness is not. Every failed
+// persist marks its job dirty, which is the reconciliation work-list: once
+// the store's circuit breaker closes again, the engine re-journals dirty
+// jobs from memory (see Engine.reconcile).
 
 // persistSubmit journals a new job's request and queued state.
 func (e *Engine) persistSubmit(job *Job) {
@@ -25,13 +28,14 @@ func (e *Engine) persistSubmit(job *Job) {
 		e.opts.Logger.Warn("engine: job uses a custom technology library, which the store cannot journal; the job will not resume across a restart", "job", job.ID)
 	}
 	req, err := store.NewRequestRecord(job.req.Circuit, job.req.Spec, job.req.Config,
-		job.req.SourceBenchmark, job.req.SourceBLIF)
+		job.req.SourceBenchmark, job.req.SourceBLIF, job.req.Deadline)
 	if err != nil {
 		e.opts.Logger.Warn("engine: journal request failed; job will not survive a restart", "job", job.ID, "err", err)
 		return
 	}
 	jnl, err := e.opts.Store.Journal(job.ID)
 	if err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: open journal failed; job will not survive a restart", "job", job.ID, "err", err)
 		return
 	}
@@ -39,9 +43,11 @@ func (e *Engine) persistSubmit(job *Job) {
 	job.jnl = jnl
 	job.mu.Unlock()
 	if err := jnl.Request(req); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: journal request", "job", job.ID, "err", err)
 	}
 	if err := jnl.State(string(StateQueued), ""); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "err", err)
 	}
 }
@@ -87,11 +93,14 @@ func (e *Engine) persistState(job *Job, state State, jobErr string) {
 		return
 	}
 	if err := jnl.State(string(state), jobErr); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "state", string(state), "err", err)
 	}
 }
 
-// persistTrace journals one committed trace point.
+// persistTrace journals one committed trace point. A dropped trace line does
+// NOT dirty the job: the trace is progress telemetry, superseded by the
+// checkpoint and result, and reconciliation deliberately does not replay it.
 func (e *Engine) persistTrace(job *Job, p core.TracePoint) {
 	jnl := job.journal()
 	if jnl == nil {
@@ -108,6 +117,7 @@ func (e *Engine) persistCheckpoint(job *Job, st *core.ExplorerState) {
 		return
 	}
 	if err := e.opts.Store.WriteCheckpoint(job.ID, st); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: write checkpoint", "job", job.ID, "err", err)
 	}
 }
@@ -125,18 +135,22 @@ func (e *Engine) persistResult(job *Job, res *core.Result, hits, misses uint64) 
 		return
 	}
 	if err := jnl.Result(rec, hits, misses); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: journal result", "job", job.ID, "err", err)
 	}
 	if err := jnl.State(string(StateDone), ""); err != nil {
+		job.markDirty()
 		e.opts.Logger.Warn("engine: journal state", "job", job.ID, "state", string(StateDone), "err", err)
 	}
 }
 
 // persistClose closes a terminal job's journal, releasing its descriptor,
-// and drops the now-superseded checkpoint snapshot (every terminal path —
-// done, failed, user-cancelled — ends here; the journal's terminal record
-// is what survives).
-func (e *Engine) persistClose(job *Job) {
+// and — unless keepCheckpoint — drops the now-superseded checkpoint snapshot
+// (every terminal path ends here; the journal's terminal record is what
+// survives). Timed-out jobs keep their checkpoint: it is the durable record
+// of the best-so-far frontier the deadline bought, and restarts serve the
+// frontier from it.
+func (e *Engine) persistClose(job *Job, keepCheckpoint bool) {
 	jnl := job.journal()
 	if jnl == nil {
 		return
@@ -146,6 +160,9 @@ func (e *Engine) persistClose(job *Job) {
 	job.mu.Unlock()
 	if err := jnl.Close(); err != nil {
 		e.opts.Logger.Warn("engine: close journal", "job", job.ID, "err", err)
+	}
+	if keepCheckpoint {
+		return
 	}
 	if err := e.opts.Store.RemoveCheckpoint(job.ID); err != nil {
 		e.opts.Logger.Warn("engine: remove checkpoint", "job", job.ID, "err", err)
@@ -202,6 +219,11 @@ func restoreTerminalJob(rec *store.JobRecord) *Job {
 	if rec.Result != nil {
 		j.restored = &restoredResult{rec: rec.Result}
 	}
+	if j.state == StateTimeout && rec.Checkpoint != nil {
+		// A timed-out job's checkpoint is its surviving partial answer: the
+		// frontier endpoint serves the best-so-far set rebuilt from it.
+		j.lastCheckpoint = rec.Checkpoint
+	}
 	if len(rec.Spans) > 0 {
 		// A terminal job's timeline is read-only: replayed spans are served
 		// by the timeline endpoint, and no further spans will ever start.
@@ -236,6 +258,9 @@ func requeueJob(opts Options, rec *store.JobRecord) (*Job, error) {
 			Config:          cfg,
 			SourceBenchmark: rec.Request.Benchmark,
 			SourceBLIF:      rec.Request.CircuitBLIF,
+			// A fresh budget for the remaining work: the deadline bounds one
+			// process's run, not the job's cumulative lifetime.
+			Deadline: rec.Request.Deadline(),
 		},
 		done:   make(chan struct{}),
 		resume: rec.Checkpoint,

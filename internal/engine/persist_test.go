@@ -219,7 +219,7 @@ func TestRestartRunningJobWithoutCheckpointRestartsFromStepZero(t *testing.T) {
 	// Hand-write the journal of a job that died mid-run before any
 	// checkpoint: request + running, nothing else.
 	req := adderRequest(t, 4, persistCfg())
-	rr, err := store.NewRequestRecord(req.Circuit, req.Spec, req.Config, "", "")
+	rr, err := store.NewRequestRecord(req.Circuit, req.Spec, req.Config, "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,16 +2,21 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	netpprof "net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/blif"
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/faults"
+	"github.com/blasys-go/blasys/internal/store"
 	"github.com/blasys-go/blasys/internal/telemetry"
 	"github.com/blasys-go/blasys/internal/verilog"
 )
@@ -52,10 +57,11 @@ const maxRequestBody = 16 << 20
 //	GET    /debug/pprof/...         Go profiling endpoints (only with
 //	                                WithPprof)
 type Server struct {
-	engine *Engine
-	mux    *http.ServeMux
-	start  time.Time
-	pprof  bool
+	engine     *Engine
+	mux        *http.ServeMux
+	start      time.Time
+	pprof      bool
+	faultAdmin bool
 }
 
 // ServerOption customizes optional server surfaces.
@@ -65,6 +71,15 @@ type ServerOption func(*Server)
 // server's own mux, so profiling shares the API listener instead of needing
 // a side port.
 func WithPprof() ServerOption { return func(s *Server) { s.pprof = true } }
+
+// WithFaultAdmin mounts the /debug/faults control surface: GET reports the
+// armed fault schedule with live counters, POST/PUT arms a schedule from a
+// faults.ParseSchedule spec in the request body (?seed= fixes the
+// probabilistic draw), and DELETE disarms everything. Chaos drills only —
+// never enable on a production listener; it exists so operators (and the
+// serve smoke test) can rehearse degraded mode against a live process
+// without needing a genuinely sick disk.
+func WithFaultAdmin() ServerOption { return func(s *Server) { s.faultAdmin = true } }
 
 // NewServer wraps an engine with the HTTP API.
 func NewServer(e *Engine, opts ...ServerOption) *Server {
@@ -86,6 +101,12 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.faultAdmin {
+		s.mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
+		s.mux.HandleFunc("POST /debug/faults", s.handleFaultsSet)
+		s.mux.HandleFunc("PUT /debug/faults", s.handleFaultsSet)
+		s.mux.HandleFunc("DELETE /debug/faults", s.handleFaultsClear)
+	}
 	if s.pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
@@ -127,8 +148,11 @@ type submitRequest struct {
 }
 
 type submitResponse struct {
-	ID          string `json:"id"`
-	State       State  `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Deduped marks a submission that attached to an existing
+	// content-identical execution instead of starting a new one.
+	Deduped     bool   `json:"deduped,omitempty"`
 	StatusURL   string `json:"status_url"`
 	CancelURL   string `json:"cancel_url"`
 	BLIFURL     string `json:"result_blif_url"`
@@ -190,11 +214,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.engine.Submit(job)
+	if req.Config.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms must be >= 0 (got %d)", req.Config.DeadlineMS)
+		return
+	}
+	job.Deadline = time.Duration(req.Config.DeadlineMS) * time.Millisecond
+
+	j, deduped, err := s.engine.SubmitAttach(job)
+	var overload *OverloadError
 	switch {
 	case err == nil:
 	case err == ErrQueueFull:
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		// Overload, not unavailability: the engine is healthy, the queue is
+		// just full. 429 + Retry-After tells a well-behaved client exactly
+		// what to do; 503 is reserved for engine-closed / not-ready.
+		setRetryAfter(w, s.engine.EstimateQueueWait())
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.As(err, &overload):
+		// Deadline-aware shedding: queueing this job would let it die
+		// waiting. The Retry-After is the estimated queue wait itself.
+		setRetryAfter(w, overload.RetryAfter())
+		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err == ErrClosed:
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -203,15 +244,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{
+	// A deduped submission attached to an existing execution: 200, not 202 —
+	// nothing new was accepted for processing.
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{
 		ID:          j.ID,
 		State:       j.State(),
+		Deduped:     deduped,
 		StatusURL:   "/v1/jobs/" + j.ID,
 		CancelURL:   "/v1/jobs/" + j.ID + "/cancel",
 		BLIFURL:     "/v1/jobs/" + j.ID + "/result.blif",
 		VerilogURL:  "/v1/jobs/" + j.ID + "/result.v",
 		FrontierURL: "/v1/jobs/" + j.ID + "/frontier",
 	})
+}
+
+// setRetryAfter renders a wait estimate as a Retry-After header (whole
+// seconds, minimum 1 — zero would invite an immediate, pointless retry).
+func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -248,6 +306,12 @@ func (s *Server) doneJob(w http.ResponseWriter, r *http.Request) *Job {
 	switch j.State() {
 	case StateDone:
 		return j
+	case StateTimeout:
+		// A timed-out job has no chosen netlist, but its best-so-far
+		// frontier survives — point the client at the partial answer.
+		writeError(w, http.StatusGone,
+			"job %s timed out; its best-so-far frontier is at /v1/jobs/%s/frontier", j.ID, j.ID)
+		return nil
 	case StateFailed, StateCancelled:
 		writeError(w, http.StatusGone, "job %s is %s", j.ID, j.State())
 		return nil
@@ -301,8 +365,20 @@ type frontierResponse struct {
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
-	j := s.doneJob(w, r)
-	if j == nil {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// Unlike the result endpoints, the frontier is served for timed-out jobs
+	// too: the best-so-far set is exactly what the deadline bought.
+	switch j.State() {
+	case StateDone, StateTimeout:
+	case StateFailed, StateCancelled:
+		writeError(w, http.StatusGone, "job %s is %s", j.ID, j.State())
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; frontier not ready", j.ID, j.State())
 		return
 	}
 	f := j.Frontier()
@@ -426,18 +502,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // durable) its store is writable. Startup replay happens inside engine.New,
 // so a server built on a live engine is ready by construction; blasys-serve
 // additionally answers 503 on this path while replay is still running.
+//
+// Failure detail distinguishes the failure classes an operator reacts to
+// differently: "degraded" (the store's write circuit breaker is open — jobs
+// still run, memory-only, and recovery is being probed in the background)
+// versus plain "unavailable" (engine closed, or a writability probe failed
+// outright), and within probe failures, a sick jobs dir (durability gone)
+// versus a sick cache dir (only warm-start speed gone).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if err := s.engine.Ready(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "unavailable",
-			"reason": err.Error(),
+	err := s.engine.Ready()
+	if err == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ready",
+			"uptime_seconds": time.Since(s.start).Seconds(),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ready",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	resp := map[string]any{
+		"status": "unavailable",
+		"reason": err.Error(),
+	}
+	var de *store.DegradedError
+	if errors.As(err, &de) {
+		resp["status"] = "degraded"
+		resp["breaker"] = de.State
+		resp["degraded_since"] = de.Since
+	}
+	var pe *store.ProbeError
+	if errors.As(err, &pe) {
+		detail := map[string]string{}
+		if pe.Jobs != nil {
+			detail["jobs"] = pe.Jobs.Error()
+		}
+		if pe.Cache != nil {
+			detail["cache"] = pe.Cache.Error()
+		}
+		resp["detail"] = detail
+	}
+	writeJSON(w, http.StatusServiceUnavailable, resp)
 }
 
 // handleMetrics renders the engine's registry (job lifecycle, queue,
@@ -449,6 +551,73 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Registry().WritePrometheus(w)
 	telemetry.Default().WritePrometheus(w)
+}
+
+// faultStore resolves the engine's store for the fault-admin handlers,
+// writing the error response when there is none (a memory-only engine has no
+// fault points to arm).
+func (s *Server) faultStore(w http.ResponseWriter) *store.Store {
+	st := s.engine.Store()
+	if st == nil {
+		writeError(w, http.StatusConflict, "engine has no durable store; no fault points to control")
+	}
+	return st
+}
+
+// handleFaultsGet reports the armed schedule with live seen/fired counters.
+func (s *Server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
+	st := s.faultStore(w)
+	if st == nil {
+		return
+	}
+	rules := st.Faults().Snapshot() // nil-safe: empty when no injector
+	writeJSON(w, http.StatusOK, map[string]any{
+		"armed": len(rules) > 0,
+		"rules": rules,
+	})
+}
+
+// handleFaultsSet arms a fault schedule from the request body (the
+// faults.ParseSchedule wire form, e.g.
+// "journal.append:after=2,times=3,err=eio;checkpoint.write:err=enospc").
+func (s *Server) handleFaultsSet(w http.ResponseWriter, r *http.Request) {
+	st := s.faultStore(w)
+	if st == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<10))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read schedule: %v", err)
+		return
+	}
+	rules, err := faults.ParseSchedule(strings.TrimSpace(string(body)))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var seed int64 = 1
+	if sv := r.URL.Query().Get("seed"); sv != "" {
+		if seed, err = strconv.ParseInt(sv, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q: %v", sv, err)
+			return
+		}
+	}
+	st.SetFaults(faults.New(seed).Add(rules...))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"armed": true,
+		"seed":  seed,
+		"rules": st.Faults().Snapshot(),
+	})
+}
+
+// handleFaultsClear disarms every injected fault.
+func (s *Server) handleFaultsClear(w http.ResponseWriter, r *http.Request) {
+	st := s.faultStore(w)
+	if st == nil {
+		return
+	}
+	st.SetFaults(nil)
+	writeJSON(w, http.StatusOK, map[string]any{"armed": false})
 }
 
 // handleVars dumps every metric series of both registries as one JSON

@@ -68,3 +68,18 @@ func Release() {
 // Budget reports the total token count (the machine-wide cap on extra
 // worker goroutines).
 func Budget() int { return cap(tokens) }
+
+// InUse reports how many tokens are currently held.
+func InUse() int { return len(tokens) }
+
+// Pressure reports the fraction of the machine-wide goroutine budget
+// currently in use, in [0, 1]. Admission control reads it as a slowdown
+// signal: near 1, running jobs are executing below their configured
+// parallelism (their fan-outs are being serialized inline), so queue-drain
+// estimates based on historical run times are optimistic.
+func Pressure() float64 {
+	if cap(tokens) == 0 {
+		return 0
+	}
+	return float64(len(tokens)) / float64(cap(tokens))
+}

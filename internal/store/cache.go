@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/blasys-go/blasys/internal/bmf"
+	"github.com/blasys-go/blasys/internal/faults"
 )
 
 // DiskCache is a disk-backed bmf.Cache: each factorization result lives in
@@ -29,13 +30,16 @@ import (
 type DiskCache struct {
 	dir string
 	log *slog.Logger
+	// st backs the retry/degraded/fault plumbing; nil for a cache built
+	// outside a store (then puts are single-shot and faults never fire).
+	st *Store
 
 	hits, misses, entries atomic.Uint64
 }
 
 // DiskCache returns the store's factorization cache layer.
 func (s *Store) DiskCache() *DiskCache {
-	c := &DiskCache{dir: filepath.Join(s.dir, cacheSubdir), log: s.log}
+	c := &DiskCache{dir: filepath.Join(s.dir, cacheSubdir), log: s.log, st: s}
 	c.entries.Store(countFiles(c.dir))
 	return c
 }
@@ -73,6 +77,12 @@ func (c *DiskCache) Get(k bmf.Key) (any, bool) {
 }
 
 func (c *DiskCache) get(k bmf.Key) (any, bool) {
+	if c.st != nil {
+		if err := c.st.injector().Fire(faults.OpCacheRead); err != nil {
+			c.misses.Add(1)
+			return nil, false
+		}
+	}
 	b, err := os.ReadFile(c.path(k))
 	if err != nil {
 		c.misses.Add(1)
@@ -116,17 +126,36 @@ func (c *DiskCache) Put(k bmf.Key, v any) {
 	if _, err := os.Stat(path); err == nil {
 		return // content-addressed: an existing entry is already correct
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.log.Warn("store: cache put failed", "key", fmt.Sprintf("%x", k[:4]), "err", err)
-		return
-	}
 	// No fsync: a cache entry lost to a power cut merely costs one
 	// refactorization, and Get validates (and removes) torn files anyway.
-	err := WriteFileAtomic(path, false, func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(&e)
-	})
+	// The fill retries like other store I/O but never trips the breaker —
+	// and while the store is degraded, fills are skipped entirely (the
+	// memory layer above still serves this process).
+	write := func() error {
+		if c.st != nil {
+			if err := c.st.injector().Fire(faults.OpCacheWrite); err != nil {
+				return err
+			}
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return WriteFileAtomic(path, false, func(w io.Writer) error {
+			return json.NewEncoder(w).Encode(&e)
+		})
+	}
+	var err error
+	if c.st != nil {
+		err = c.st.withRetry("cache_write", false, write)
+	} else {
+		err = write()
+	}
 	if err != nil {
-		c.log.Warn("store: cache put failed", "key", fmt.Sprintf("%x", k[:4]), "err", err)
+		// Degraded drops are expected in bulk and already counted; one warn
+		// per skipped fill would drown the log.
+		if !errors.Is(err, ErrDegraded) {
+			c.log.Warn("store: cache put failed", "key", fmt.Sprintf("%x", k[:4]), "err", err)
+		}
 		return
 	}
 	c.entries.Add(1)

@@ -30,3 +30,29 @@ var (
 		"Jobs folded out of journals during replay, by outcome.",
 		"outcome")
 )
+
+// Robustness telemetry: the retry loop, the circuit breaker, and degraded
+// mode. blasys_store_breaker_state is the one-glance health signal (0
+// closed, 1 open, 2 half-open); retries climbing without the breaker
+// tripping means the disk is flaky but recovering.
+var (
+	mRetries = telemetry.Default().CounterVec(
+		"blasys_store_retries_total",
+		"Store I/O retries after a transient failure, by operation.",
+		"op")
+	mBreakerState = telemetry.Default().Gauge(
+		"blasys_store_breaker_state",
+		"Store write circuit-breaker state (0 closed, 1 open, 2 half-open).")
+	mProbes = telemetry.Default().CounterVec(
+		"blasys_store_probes_total",
+		"Half-open writability probes of the degraded store, by outcome.",
+		"outcome")
+	mProbeSeconds = telemetry.Default().Histogram(
+		"blasys_store_probe_seconds",
+		"Latency of one half-open writability probe.",
+		telemetry.DurationBuckets)
+	mDegradedDrops = telemetry.Default().CounterVec(
+		"blasys_store_degraded_drops_total",
+		"Store writes short-circuited (not attempted) while degraded, by operation.",
+		"op")
+)

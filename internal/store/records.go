@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/blasys-go/blasys/internal/bench"
 	"github.com/blasys-go/blasys/internal/blif"
@@ -27,6 +28,12 @@ type RequestRecord struct {
 
 	Spec   []GroupRecord `json:"spec"`
 	Config ConfigRecord  `json:"config"`
+
+	// DeadlineMS is the job's run-time budget in milliseconds (0 = none).
+	// Journaled so a resumed job keeps its budget, and part of the dedup
+	// content address — the same work under a different deadline is a
+	// different submission.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // GroupRecord is the stored form of one qor.Group.
@@ -69,12 +76,14 @@ type ConfigRecord struct {
 
 // NewRequestRecord captures a submission for the journal. benchmark and
 // blifText record the circuit's provenance when the caller knows it (the
-// HTTP server does); pass them empty to serialize circ itself.
-func NewRequestRecord(circ *logic.Circuit, spec qor.OutputSpec, cfg core.Config, benchmark, blifText string) (*RequestRecord, error) {
+// HTTP server does); pass them empty to serialize circ itself. deadline is
+// the job's run-time budget (zero for none).
+func NewRequestRecord(circ *logic.Circuit, spec qor.OutputSpec, cfg core.Config, benchmark, blifText string, deadline time.Duration) (*RequestRecord, error) {
 	r := &RequestRecord{
 		Benchmark:   benchmark,
 		CircuitBLIF: blifText,
 		Config:      newConfigRecord(cfg),
+		DeadlineMS:  deadline.Milliseconds(),
 	}
 	if r.Benchmark == "" && r.CircuitBLIF == "" {
 		var sb strings.Builder
@@ -117,6 +126,11 @@ func newConfigRecord(cfg core.Config) ConfigRecord {
 		}
 	}
 	return cr
+}
+
+// Deadline returns the recorded run-time budget (zero = none).
+func (r *RequestRecord) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
 }
 
 // Materialize rebuilds the circuit, spec, and core config from the record.

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the store's retry loop around transient I/O failures.
+// Delays grow exponentially from BaseDelay, are capped at MaxDelay, and get
+// full jitter (a uniform draw from [d/2, d)) so a fleet of writers hitting
+// the same sick disk doesn't retry in lockstep.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first attempt included); < 1 is
+	// normalized to 1 (no retries).
+	Attempts int
+	// BaseDelay is the sleep before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is tuned for a local disk hiccup: three tries within
+// well under a second, so a persistent failure trips the breaker quickly
+// instead of stalling job progress behind long sleeps.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:  3,
+	BaseDelay: 5 * time.Millisecond,
+	MaxDelay:  250 * time.Millisecond,
+}
+
+// SetRetryPolicy replaces the store's retry policy. Call before the store is
+// serving traffic (tests use this to shrink the delays).
+func (s *Store) SetRetryPolicy(p RetryPolicy) {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	s.retry = p
+}
+
+// backoffDelay computes the sleep before retry number `retry` (1-based):
+// exponential growth capped at MaxDelay, then full jitter.
+func backoffDelay(p RetryPolicy, retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Full jitter: uniform in [d/2, d). Jitter never influences results —
+	// only when a retry lands — so the global PRNG is fine here.
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)))
+	}
+	return d
+}
+
+// withRetry runs fn under the store's retry policy, labelling retries with
+// op for telemetry. While the store is degraded the write is short-circuited
+// immediately (callers run memory-only until the breaker recovers). When
+// every attempt fails and trip is true, the circuit breaker opens — trip is
+// set for the journal and checkpoint paths whose failure means durability is
+// gone, and clear for cache fills whose failure only costs recomputation.
+func (s *Store) withRetry(op string, trip bool, fn func() error) error {
+	if err := s.Degraded(); err != nil {
+		mDegradedDrops.With(op).Inc()
+		return err
+	}
+	p := s.retry
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts {
+			break
+		}
+		mRetries.With(op).Inc()
+		time.Sleep(backoffDelay(p, attempt))
+	}
+	if trip && s.brk != nil {
+		s.brk.trip(fmt.Errorf("%s: %w", op, err))
+	}
+	return err
+}

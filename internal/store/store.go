@@ -38,9 +38,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/blasys-go/blasys/internal/core"
+	"github.com/blasys-go/blasys/internal/faults"
 	"github.com/blasys-go/blasys/internal/telemetry"
 )
 
@@ -58,6 +60,12 @@ type Store struct {
 	dir string
 	log *slog.Logger
 
+	// flt is the optional fault injector (nil in production — Fire on a nil
+	// injector is a plain nil check, the zero-overhead clean path).
+	flt   atomic.Pointer[faults.Injector]
+	retry RetryPolicy
+	brk   *breaker
+
 	mu       sync.Mutex
 	journals map[string]*Journal
 }
@@ -69,12 +77,26 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	return &Store{
+	s := &Store{
 		dir:      dir,
 		log:      slog.Default(),
+		retry:    DefaultRetryPolicy,
 		journals: make(map[string]*Journal),
-	}, nil
+	}
+	s.brk = newBreaker(s)
+	return s, nil
 }
+
+// SetFaults installs (or, with nil, removes) a fault injector on every store
+// I/O path. Testing and chaos drills only.
+func (s *Store) SetFaults(in *faults.Injector) { s.flt.Store(in) }
+
+// Faults returns the installed fault injector (nil in production) — the
+// introspection handle behind the /debug/faults admin surface.
+func (s *Store) Faults() *faults.Injector { return s.flt.Load() }
+
+// injector returns the current fault injector (usually nil).
+func (s *Store) injector() *faults.Injector { return s.flt.Load() }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -95,12 +117,48 @@ func (s *Store) SetSlogger(l *slog.Logger) {
 	}
 }
 
-// Writable probes that the store's job directory accepts writes — the
-// readiness signal a serving process reports before accepting work.
+// ProbeError reports which store directories failed the writability probe,
+// so readiness detail can distinguish a degraded journal (durability gone)
+// from a degraded cache (only warm-start speed gone).
+type ProbeError struct {
+	Jobs  error // jobs dir (journals + checkpoints) probe failure, if any
+	Cache error // cache dir probe failure, if any
+}
+
+func (e *ProbeError) Error() string {
+	switch {
+	case e.Jobs != nil && e.Cache != nil:
+		return fmt.Sprintf("store: not writable: jobs: %v; cache: %v", e.Jobs, e.Cache)
+	case e.Jobs != nil:
+		return fmt.Sprintf("store: jobs dir not writable: %v", e.Jobs)
+	default:
+		return fmt.Sprintf("store: cache dir not writable: %v", e.Cache)
+	}
+}
+
+// Writable probes that the store's job and cache directories accept writes —
+// the readiness signal a serving process reports before accepting work, and
+// the check the circuit breaker's half-open probe runs. A failure is a
+// *ProbeError identifying which directory is sick.
 func (s *Store) Writable() error {
-	f, err := os.CreateTemp(filepath.Join(s.dir, jobsSubdir), ".probe*")
-	if err != nil {
+	if err := s.injector().Fire(faults.OpProbe); err != nil {
 		return fmt.Errorf("store: not writable: %w", err)
+	}
+	pe := &ProbeError{
+		Jobs:  probeDir(filepath.Join(s.dir, jobsSubdir)),
+		Cache: probeDir(filepath.Join(s.dir, cacheSubdir)),
+	}
+	if pe.Jobs == nil && pe.Cache == nil {
+		return nil
+	}
+	return pe
+}
+
+// probeDir round-trips a temp file through dir.
+func probeDir(dir string) error {
+	f, err := os.CreateTemp(dir, ".probe*")
+	if err != nil {
+		return err
 	}
 	name := f.Name()
 	f.Close()
@@ -133,9 +191,13 @@ type Journal struct {
 	id string
 	st *Store
 
-	mu  sync.Mutex
-	f   *os.File
-	enc *json.Encoder
+	mu sync.Mutex
+	f  *os.File
+	// torn marks that the last append may have left a partial line on disk
+	// (a short write, real or injected). The next append poisons that tail
+	// with a newline first, so the retried record starts on a fresh line and
+	// replay skips only the corrupt fragment.
+	torn bool
 }
 
 // Journal opens (appending) the journal for a job ID, creating it on first
@@ -149,11 +211,19 @@ func (s *Store) Journal(id string) (*Journal, error) {
 	if j, ok := s.journals[id]; ok {
 		return j, nil
 	}
-	f, err := os.OpenFile(s.jobPath(id, journalExt), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var f *os.File
+	err := s.withRetry("journal_open", true, func() error {
+		if err := s.injector().Fire(faults.OpJournalOpen); err != nil {
+			return err
+		}
+		var oerr error
+		f, oerr = os.OpenFile(s.jobPath(id, journalExt), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		return oerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("store: journal %s: %w", id, err)
 	}
-	j := &Journal{id: id, st: s, f: f, enc: json.NewEncoder(f)}
+	j := &Journal{id: id, st: s, f: f}
 	s.journals[id] = j
 	return j, nil
 }
@@ -169,17 +239,52 @@ func validID(id string) error {
 
 func (j *Journal) append(e entry, sync bool) error {
 	e.Time = time.Now().UTC()
-	start := time.Now()
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: journal %s: %w", j.id, err)
+	}
+	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return fmt.Errorf("store: journal %s closed", j.id)
 	}
-	if err := j.enc.Encode(&e); err != nil {
-		return fmt.Errorf("store: journal %s: %w", j.id, err)
+	return j.st.withRetry("journal_append", true, func() error {
+		return j.writeOnce(line, sync)
+	})
+}
+
+// writeOnce is one attempt to land a journal line (plus its fsync when
+// terminal). Called with j.mu held, via the store's retry loop.
+func (j *Journal) writeOnce(line []byte, sync bool) error {
+	start := time.Now()
+	if j.torn {
+		if _, err := j.f.Write([]byte("\n")); err != nil {
+			return err
+		}
+		j.torn = false
+	}
+	if err := j.st.injector().Fire(faults.OpJournalAppend); err != nil {
+		if faults.IsTorn(err) {
+			// Simulate the short write the fault stands for: half the record
+			// lands, no newline. The retry path must heal this.
+			j.f.Write(line[:len(line)/2])
+			j.torn = true
+		}
+		return err
+	}
+	n, err := j.f.Write(line)
+	if err != nil {
+		if n > 0 && n < len(line) {
+			j.torn = true
+		}
+		return err
 	}
 	mJournalAppend.Observe(time.Since(start).Seconds())
 	if sync {
+		if err := j.st.injector().Fire(faults.OpJournalSync); err != nil {
+			return err
+		}
 		fsyncStart := time.Now()
 		err := j.f.Sync()
 		mFsync.Observe(time.Since(fsyncStart).Seconds())
@@ -196,7 +301,7 @@ func (j *Journal) Request(r *RequestRecord) error {
 // State journals a lifecycle transition; jobErr carries the failure message
 // for terminal error states. Terminal states are fsynced.
 func (j *Journal) State(state, jobErr string) error {
-	sync := state == "done" || state == "failed" || state == "cancelled"
+	sync := state == "done" || state == "failed" || state == "cancelled" || state == "timeout"
 	return j.append(entry{Type: "state", State: state, Error: jobErr}, sync)
 }
 
@@ -265,9 +370,15 @@ func (s *Store) WriteCheckpoint(id string, st *core.ExplorerState) error {
 		return err
 	}
 	start := time.Now()
-	err := WriteFileAtomic(s.jobPath(id, checkpointExt), true, func(w io.Writer) error {
-		_, werr := st.WriteTo(w)
-		return werr
+	path := s.jobPath(id, checkpointExt)
+	err := s.withRetry("checkpoint_write", true, func() error {
+		if err := s.injector().Fire(faults.OpCheckpointWrite); err != nil {
+			return err
+		}
+		return WriteFileAtomic(path, true, func(w io.Writer) error {
+			_, werr := st.WriteTo(w)
+			return werr
+		})
 	})
 	if err != nil {
 		return fmt.Errorf("store: checkpoint %s: %w", id, err)
@@ -316,7 +427,7 @@ type JobRecord struct {
 
 // Terminal reports whether the record's state is final.
 func (r *JobRecord) Terminal() bool {
-	return r.State == "done" || r.State == "failed" || r.State == "cancelled"
+	return r.State == "done" || r.State == "failed" || r.State == "cancelled" || r.State == "timeout"
 }
 
 // Replay folds every job journal in the store into records, sorted by
@@ -403,7 +514,7 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 			switch e.State {
 			case "running":
 				rec.Started = e.Time
-			case "done", "failed", "cancelled":
+			case "done", "failed", "cancelled", "timeout":
 				rec.Finished = e.Time
 			}
 		case "trace":
@@ -439,7 +550,9 @@ func (s *Store) replayJob(id string) (*JobRecord, error) {
 	if rec.Created.IsZero() {
 		rec.Created = time.Now().UTC()
 	}
-	if !rec.Terminal() {
+	// Unfinished jobs need their checkpoint to resume; timed-out jobs keep
+	// theirs as the durable record of the best-so-far frontier.
+	if !rec.Terminal() || rec.State == "timeout" {
 		cp, err := s.ReadCheckpoint(id)
 		if err != nil {
 			s.log.Warn("store: unreadable checkpoint, resuming from step 0", "job", id, "err", err)
@@ -491,8 +604,10 @@ func (s *Store) RemoveCheckpoint(id string) error {
 	return err
 }
 
-// Close closes every open journal.
+// Close stops the breaker's background probing and closes every open
+// journal.
 func (s *Store) Close() error {
+	s.brk.stop()
 	s.mu.Lock()
 	open := make([]*Journal, 0, len(s.journals))
 	for _, j := range s.journals {

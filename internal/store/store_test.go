@@ -45,7 +45,7 @@ func TestJournalReplayRoundTrip(t *testing.T) {
 	spec := qor.Unsigned("s", len(circ.Outputs))
 	cfg := core.Config{K: 4, M: 3, Samples: 512, Seed: 9, ExploreFully: true, MaxSteps: 3}
 
-	req, err := NewRequestRecord(circ, spec, cfg, "", "")
+	req, err := NewRequestRecord(circ, spec, cfg, "", "", 0)
 	if err != nil {
 		t.Fatalf("NewRequestRecord: %v", err)
 	}
@@ -107,7 +107,7 @@ func TestBenchmarkRequestMaterializesIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bench.ByName: %v", err)
 	}
-	req, err := NewRequestRecord(bm.Circ, bm.Spec, core.Config{}, "Fig3", "")
+	req, err := NewRequestRecord(bm.Circ, bm.Spec, core.Config{}, "Fig3", "", 0)
 	if err != nil {
 		t.Fatalf("NewRequestRecord: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestReplaySkipsCorruptLines(t *testing.T) {
 	s.SetLogger(func(format string, args ...any) {
 		warnings = append(warnings, fmt.Sprintf(format, args...))
 	})
-	req, err := NewRequestRecord(smallCircuit(), qor.Unsigned("s", 4), core.Config{}, "", "")
+	req, err := NewRequestRecord(smallCircuit(), qor.Unsigned("s", 4), core.Config{}, "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestCheckpointRoundTripAndCorruption(t *testing.T) {
 	if _, err := s.ReadCheckpoint("job-x"); err == nil {
 		t.Fatal("corrupt checkpoint read did not error")
 	}
-	req, err := NewRequestRecord(smallCircuit(), qor.Unsigned("s", 4), core.Config{}, "", "")
+	req, err := NewRequestRecord(smallCircuit(), qor.Unsigned("s", 4), core.Config{}, "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -259,6 +259,16 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Mean returns the average observed value (0 before any observation) —
+// the cheap point estimate admission control reads from latency histograms.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
 func (h *Histogram) writeProm(w io.Writer, name, labels string) {
 	// Prometheus buckets are cumulative; splice le into existing labels.
 	le := func(bound string) string {
