@@ -1,14 +1,18 @@
 // Command benchgen emits the paper's benchmark circuits as BLIF and
 // structural Verilog netlists and prints their accurate design metrics
-// (Table 1 of the paper).
+// (Table 1 of the paper). It can also generate seeded random circuits —
+// the corpus the differential-fuzz CI job evaluates batch, scalar, and
+// paper-literal kernels against.
 //
-//	benchgen -out netlists            # write all benchmarks
-//	benchgen -bench Mult8 -out .      # just one
+//	benchgen -out netlists              # write all paper benchmarks
+//	benchgen -bench Mult8 -out .        # just one
+//	benchgen -rand 8 -rand-seed 3       # eight seeded random circuits
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,29 +26,46 @@ import (
 
 func main() {
 	var (
-		name = flag.String("bench", "", "single benchmark to emit (default: all)")
-		out  = flag.String("out", "netlists", "output directory")
-		seed = flag.Int64("seed", 1, "seed for the power estimate")
+		name     = flag.String("bench", "", "single benchmark to emit (default: all)")
+		out      = flag.String("out", "netlists", "output directory")
+		seed     = flag.Int64("seed", 1, "seed for the power estimate")
+		nRand    = flag.Int("rand", 0, "emit N seeded random circuits instead of the paper set")
+		randSeed = flag.Int64("rand-seed", 1, "base seed of the random-circuit stream")
 	)
 	flag.Parse()
-	if err := run(*name, *out, *seed); err != nil {
+	if err := run(*name, *out, *seed, *nRand, *randSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, out string, seed int64) error {
+func run(name, out string, seed int64, nRand int, randSeed int64) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	var list []bench.Circuit
-	if name != "" {
+	switch {
+	case nRand > 0:
+		// Circuit i of a given base seed is always the same netlist: each
+		// draws from its own derived stream, so corpora are reproducible and
+		// individually regenerable.
+		for i := 0; i < nRand; i++ {
+			rng := rand.New(rand.NewSource(randSeed + int64(i)*1_000_003))
+			c := bench.RandomCircuit(rng, bench.RandomOptions{
+				Inputs:  6 + rng.Intn(6),
+				Gates:   60 + rng.Intn(140),
+				Outputs: 4 + rng.Intn(6),
+			})
+			c.Name = fmt.Sprintf("%s_s%d_%d", c.Name, randSeed, i)
+			list = append(list, c)
+		}
+	case name != "":
 		b, err := bench.ByName(name)
 		if err != nil {
 			return err
 		}
 		list = []bench.Circuit{b}
-	} else {
+	default:
 		list = bench.All()
 	}
 	lib := techmap.DefaultLibrary()

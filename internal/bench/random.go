@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// RandomOptions shapes RandomCircuit. The zero value is completed to a small
+// but structurally interesting netlist.
+type RandomOptions struct {
+	Inputs  int // primary inputs (default 8)
+	Gates   int // random gates over the growing node pool (default 60)
+	Outputs int // primary outputs, drawn from the most recent gates (default 6)
+}
+
+func (o RandomOptions) withDefaults() RandomOptions {
+	if o.Inputs <= 0 {
+		o.Inputs = 8
+	}
+	if o.Gates <= 0 {
+		o.Gates = 60
+	}
+	if o.Outputs <= 0 {
+		o.Outputs = 6
+	}
+	return o
+}
+
+// RandomCircuit generates a seeded random combinational circuit: each gate
+// draws a uniform op and uniform fanins from the inputs plus all earlier
+// gates, and outputs are drawn from the most recent gates so deep logic stays
+// live. The same rng stream always yields the same circuit, making random
+// corpora reproducible from a single seed — the differential-fuzz workload
+// stressing incremental-vs-full-rebuild (and batch-vs-scalar) equivalence on
+// circuits nobody hand-picked. The builder's structural folding may elide
+// some drawn gates, so NumGates can come in under Gates.
+func RandomCircuit(rng *rand.Rand, opts RandomOptions) Circuit {
+	opts = opts.withDefaults()
+	b := logic.NewBuilder(fmt.Sprintf("rand%dx%d", opts.Inputs, opts.Outputs))
+	ids := b.Inputs("i", opts.Inputs)
+	ops := []logic.Op{
+		logic.And, logic.Or, logic.Xor, logic.Nand,
+		logic.Nor, logic.Xnor, logic.Not, logic.Mux,
+	}
+	for g := 0; g < opts.Gates; g++ {
+		op := ops[rng.Intn(len(ops))]
+		pick := func() logic.NodeID { return ids[rng.Intn(len(ids))] }
+		var id logic.NodeID
+		switch op.Arity() {
+		case 1:
+			id = b.Gate(op, pick())
+		case 2:
+			id = b.Gate(op, pick(), pick())
+		default:
+			id = b.Gate(op, pick(), pick(), pick())
+		}
+		ids = append(ids, id)
+	}
+	window := len(ids) - opts.Inputs
+	if window < 1 {
+		window = 1
+	}
+	if window > opts.Gates/2+1 {
+		window = opts.Gates/2 + 1
+	}
+	for o := 0; o < opts.Outputs; o++ {
+		b.Output("z", ids[len(ids)-1-rng.Intn(window)])
+	}
+	return Circuit{
+		Name: b.C.Name,
+		Circ: b.C,
+		Spec: qor.Unsigned("z", opts.Outputs),
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+
+	"github.com/blasys-go/blasys/internal/partition"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// BlockErrorProfiles measures, for every profiled block, the whole-circuit
+// QoR of substituting each of its factorized variants alone into the accurate
+// circuit: out[bi][f-1] is the report for block bi at degree f. This is the
+// per-block error landscape surrogate explorers (Bayesian-optimization /
+// bandit seeding) start from, and the showcase workload for batched
+// evaluation — all variants of a block share one fanout cone, so each block's
+// ladder fuses into lane-packed passes.
+//
+// workers bounds the sweep worker pool (0 = the result's Workers default);
+// batchWidth is the fused lane width (0 = the evaluator's default). Both are
+// pure scheduling: reports are bit-identical to evaluating every variant
+// alone through the scalar or paper-literal path, at any worker count or
+// width. Blocks with no variants get a nil slice.
+func (r *Result) BlockErrorProfiles(ctx context.Context, workers, batchWidth int) ([][]qor.Report, error) {
+	cfg := r.Config
+	cfg.BatchWidth = batchWidth
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	blocks := make([]partition.Block, len(r.Profiles))
+	for bi, p := range r.Profiles {
+		blocks[bi] = p.Block
+	}
+	// A fresh evaluator starts at the accurate committed state, which is
+	// exactly the baseline each variant is measured against.
+	ce, err := newCandidateEvaluator(r, blocks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	degrees := make([]int, len(r.Profiles))
+	var chunks []sweepChunk
+	for bi, p := range r.Profiles {
+		degrees[bi] = p.MaxDegree()
+		if len(p.Variants) == 0 {
+			continue
+		}
+		degs := make([]int, len(p.Variants))
+		for f := 1; f <= len(p.Variants); f++ {
+			degs[f-1] = f
+		}
+		chunks = append(chunks, sweepChunk{bi: bi, degs: degs})
+	}
+	results := runSweep(ctx, ce.shards(cfg.Workers), degrees, chunks)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]qor.Report, len(r.Profiles))
+	idx := 0
+	for _, ch := range chunks {
+		reps := make([]qor.Report, len(ch.degs))
+		for k := range ch.degs {
+			res := &results[idx]
+			idx++
+			if res.err != nil {
+				return nil, res.err
+			}
+			reps[k] = res.report
+		}
+		out[ch.bi] = reps
+	}
+	return out, nil
+}

@@ -83,6 +83,13 @@ type Config struct {
 	// (internal/sched) and fall back to inline execution when the machine
 	// is saturated.
 	Workers int
+	// BatchWidth bounds how many same-block candidates the incremental
+	// evaluator fuses into one lane-packed simulation pass (0 = the
+	// evaluator's default width; clamped to qor.MaxLanes). Like Workers it
+	// is a pure scheduling choice: any width produces bit-identical reports
+	// and trajectories, so it is excluded from the checkpoint config digest.
+	// Ignored on the paper-literal paths (Sequence, DisableIncremental).
+	BatchWidth int
 	// SynthExact uses exact two-level minimization for block synthesis.
 	SynthExact bool
 	// Basis selects the factor family; see the Basis constants.
@@ -294,14 +301,11 @@ func ApproximateCtx(ctx context.Context, c *logic.Circuit, spec qor.OutputSpec, 
 }
 
 // candidateEvaluator measures exploration candidates — a candidate is
-// (block index, next-lower degree) on top of the committed degree vector —
-// and advances the committed state when the explorer picks one.
-// evaluate may be called concurrently for different candidates; commit is
-// called serially, never concurrently with evaluate or shard evaluation.
+// (block index, trial degree) on top of the committed degree vector — and
+// advances the committed state when the explorer picks one. Evaluation runs
+// through worker-private shards; commit is called serially, never
+// concurrently with shard evaluation.
 type candidateEvaluator interface {
-	// evaluate reports the whole-circuit QoR of decrementing block bi by one
-	// degree from the committed state in degrees.
-	evaluate(degrees []int, bi int) (qor.Report, error)
 	// shards returns n worker-private evaluation handles for the sharded
 	// candidate sweep. Shards stay valid across commits.
 	shards(n int) []candidateShard
@@ -317,6 +321,9 @@ func newCandidateEvaluator(res *Result, blocks []partition.Block, cfg Config) (c
 		ic, err := qor.NewIncrementalComparer(res.Circuit, res.Spec, blocks, cfg.Samples, cfg.Seed)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.BatchWidth > 0 {
+			ic.SetLanes(cfg.BatchWidth)
 		}
 		return &incrementalEval{res: res, ic: ic}, nil
 	}
@@ -334,20 +341,30 @@ type fullRebuildEval struct {
 	cmp qor.Comparer
 }
 
-func (f *fullRebuildEval) evaluate(degrees []int, bi int) (qor.Report, error) {
+// evaluateChunk rebuilds and resimulates one full circuit per trial degree —
+// the paper-literal unit of work; batching gains nothing here, so chunks are
+// simply looped.
+func (f *fullRebuildEval) evaluateChunk(degrees []int, bi int, degs []int, out []qor.Report) error {
 	trial := append([]int(nil), degrees...)
-	trial[bi]--
-	circ, err := f.res.buildCircuit(trial)
-	if err != nil {
-		return qor.Report{}, err
+	for k, d := range degs {
+		trial[bi] = d
+		circ, err := f.res.buildCircuit(trial)
+		if err != nil {
+			return err
+		}
+		rep, err := f.cmp.Compare(circ)
+		if err != nil {
+			return err
+		}
+		out[k] = rep
 	}
-	return f.cmp.Compare(circ)
+	return nil
 }
 
 func (f *fullRebuildEval) commit(bi, newDegree int) error { return nil }
 
-// shards shares the receiver: evaluate materializes per-call state and the
-// underlying Comparer kinds are safe for concurrent Compare, so no
+// shards shares the receiver: evaluateChunk materializes per-call state and
+// the underlying Comparer kinds are safe for concurrent Compare, so no
 // per-worker state is needed on this path.
 func (f *fullRebuildEval) shards(n int) []candidateShard {
 	out := make([]candidateShard, n)
@@ -369,10 +386,6 @@ func (e *incrementalEval) variant(bi, degree int) *logic.Circuit {
 	return e.res.Profiles[bi].Variants[degree-1].Impl
 }
 
-func (e *incrementalEval) evaluate(degrees []int, bi int) (qor.Report, error) {
-	return e.ic.CompareCandidate(bi, e.variant(bi, degrees[bi]-1))
-}
-
 func (e *incrementalEval) commit(bi, newDegree int) error {
 	_, err := e.ic.Commit(bi, e.variant(bi, newDegree))
 	return err
@@ -390,12 +403,26 @@ func (e *incrementalEval) shards(n int) []candidateShard {
 }
 
 type incrementalShard struct {
-	e  *incrementalEval
-	sh *qor.Shard
+	e     *incrementalEval
+	sh    *qor.Shard
+	impls []*logic.Circuit // chunk impl buffer, reused across evaluateChunk calls
 }
 
-func (s *incrementalShard) evaluate(degrees []int, bi int) (qor.Report, error) {
-	return s.sh.CompareCandidate(bi, s.e.variant(bi, degrees[bi]-1))
+// evaluateChunk fuses a same-block candidate chunk into lane-packed batch
+// passes on the shard's private scratch; a width-1 chunk (the explorers'
+// case) takes the scalar path, which doubles as the batch kernel's
+// differential oracle.
+func (s *incrementalShard) evaluateChunk(degrees []int, bi int, degs []int, out []qor.Report) error {
+	if len(degs) == 1 {
+		rep, err := s.sh.CompareCandidate(bi, s.e.variant(bi, degs[0]))
+		out[0] = rep
+		return err
+	}
+	s.impls = s.impls[:0]
+	for _, d := range degs {
+		s.impls = append(s.impls, s.e.variant(bi, d))
+	}
+	return s.sh.CompareCandidates(bi, s.impls, out)
 }
 
 // blockOutputWeights computes, per block, the column weights for weighted
@@ -659,7 +686,7 @@ func exploreLazy(ctx context.Context, res *Result, ce candidateEvaluator, cfg Co
 		for i, cd := range batch {
 			bis[i] = cd.bi
 		}
-		results := runSweep(ctx, shards, degrees, bis)
+		results := runSweep(ctx, shards, degrees, singleDegreeChunks(bis, degrees))
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -800,7 +827,7 @@ func exploreExhaustive(ctx context.Context, res *Result, ce candidateEvaluator, 
 		stepSpan := cfg.Span.Child("step")
 		stepSpan.SetAttr("step", step)
 		stepSpan.SetAttr("candidates", len(cands))
-		results := runSweep(ctx, shards, degrees, cands)
+		results := runSweep(ctx, shards, degrees, singleDegreeChunks(cands, degrees))
 		if err := ctx.Err(); err != nil {
 			stepSpan.End()
 			return err

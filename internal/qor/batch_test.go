@@ -1,0 +1,251 @@
+package qor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/logic"
+)
+
+// variantImpls builds a spread of distinct block implementations with the
+// given I/O shape: constants, wires, inverted wires, and XOR folds — enough
+// lanes to exercise full chunks and tails, with behaviors from maximally
+// wrong to frequently clean.
+func variantImpls(nIn, nOut int) []*logic.Circuit {
+	mk := func(name string, f func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID) *logic.Circuit {
+		c := logic.New(name)
+		in := make([]logic.NodeID, nIn)
+		for i := range in {
+			in[i] = c.AddInput("i")
+		}
+		for j := 0; j < nOut; j++ {
+			c.AddOutput("o", f(c, in, j))
+		}
+		return c
+	}
+	impls := []*logic.Circuit{
+		constImpl(nIn, nOut, false),
+		constImpl(nIn, nOut, true),
+	}
+	if nIn == 0 {
+		return impls
+	}
+	impls = append(impls,
+		mk("wire", func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID {
+			return in[j%len(in)]
+		}),
+		mk("notwire", func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID {
+			return c.AddGate(logic.Not, in[j%len(in)])
+		}),
+		mk("xorfold", func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID {
+			acc := in[j%len(in)]
+			for k := 1; k < len(in); k++ {
+				acc = c.AddGate(logic.Xor, acc, in[(j+k)%len(in)])
+			}
+			return acc
+		}),
+		mk("andwire", func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID {
+			return c.AddGate(logic.And, in[j%len(in)], in[(j+1)%len(in)])
+		}),
+		mk("norwire", func(c *logic.Circuit, in []logic.NodeID, j int) logic.NodeID {
+			return c.AddGate(logic.Nor, in[j%len(in)], in[(j+1)%len(in)])
+		}),
+	)
+	return impls
+}
+
+// TestBatchMatchesScalar fuses every variant of every block at several lane
+// widths — full chunks, width 1, and non-multiple-of-width tails — and
+// requires each lane's report to equal the scalar path's bit for bit, before
+// and after a commit.
+func TestBatchMatchesScalar(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 8)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		for bi, b := range blocks {
+			impls := variantImpls(len(b.Inputs), len(b.Outputs))
+			want := make([]Report, len(impls))
+			for i, impl := range impls {
+				rep, err := ic.CompareCandidate(bi, impl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = rep
+			}
+			for _, width := range []int{1, 2, 3, len(impls), MaxLanes} {
+				ic.SetLanes(width)
+				got := make([]Report, len(impls))
+				if err := ic.CompareCandidates(bi, impls, got); err != nil {
+					t.Fatal(err)
+				}
+				for i := range impls {
+					if got[i] != want[i] {
+						t.Fatalf("%s: block %d width %d lane %d:\n got %+v\nwant %+v",
+							label, bi, width, i, got[i], want[i])
+					}
+				}
+			}
+			ic.SetLanes(DefaultLanes)
+		}
+	}
+	check("accurate baseline")
+	// Commit a maximally-wrong block in the middle so downstream batches run
+	// through a committed-region cone unit and upstream ones dirty it.
+	mid := len(blocks) / 2
+	if _, err := ic.Commit(mid, constImpl(len(blocks[mid].Inputs), len(blocks[mid].Outputs), true)); err != nil {
+		t.Fatal(err)
+	}
+	check("after commit")
+}
+
+// TestBatchCleanWave evaluates the committed implementation as a candidate of
+// its own block: every batch's block outputs match the cache, so the fused
+// pass must take the all-clean early-out and still reproduce the committed
+// report exactly in every lane.
+func TestBatchCleanWave(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 8)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blocks[0]
+	committed := constImpl(len(b.Inputs), len(b.Outputs), true)
+	want, err := ic.Commit(0, committed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]Report, 3)
+	// All three lanes re-propose the committed impl: all-clean every batch.
+	if err := ic.CompareCandidates(0, []*logic.Circuit{committed, committed, committed}, reps); err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep != want {
+			t.Fatalf("clean lane %d: got %+v want %+v", i, rep, want)
+		}
+	}
+	// Mixed: a clean lane next to genuinely dirty lanes must not disturb them.
+	impls := []*logic.Circuit{constImpl(len(b.Inputs), len(b.Outputs), false), committed}
+	mixed := make([]Report, 2)
+	if err := ic.CompareCandidates(0, impls, mixed); err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := ic.CompareCandidate(0, impls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[0] != scalar || mixed[1] != want {
+		t.Fatalf("mixed lanes: got %+v / %+v, want %+v / %+v", mixed[0], mixed[1], scalar, want)
+	}
+}
+
+// TestBatchEmptyAndValidation covers the degenerate batches: empty input,
+// mismatched report slice, and invalid candidates.
+func TestBatchEmptyAndValidation(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 4)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.CompareCandidates(0, nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	b := blocks[0]
+	impl := constImpl(len(b.Inputs), len(b.Outputs), false)
+	if err := ic.CompareCandidates(0, []*logic.Circuit{impl}, nil); err == nil {
+		t.Fatal("want error on impls/reps length mismatch")
+	}
+	reps := make([]Report, 2)
+	if err := ic.CompareCandidates(0, []*logic.Circuit{impl, nil}, reps); err == nil {
+		t.Fatal("want error on nil candidate")
+	}
+	if err := ic.CompareCandidates(len(blocks), []*logic.Circuit{impl}, reps[:1]); err == nil {
+		t.Fatal("want error on block index out of range")
+	}
+}
+
+// TestSetLanesClamp pins the lane-width clamp.
+func TestSetLanesClamp(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 4)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ic.Lanes(); got != DefaultLanes {
+		t.Fatalf("default lanes = %d, want %d", got, DefaultLanes)
+	}
+	ic.SetLanes(0)
+	if got := ic.Lanes(); got != 1 {
+		t.Fatalf("SetLanes(0) -> %d, want 1", got)
+	}
+	ic.SetLanes(1 << 20)
+	if got := ic.Lanes(); got != MaxLanes {
+		t.Fatalf("SetLanes(huge) -> %d, want %d", got, MaxLanes)
+	}
+}
+
+// TestBatchConcurrentShards runs fused batches on worker-private shards
+// concurrently (run under -race by the CI kernel job) and requires every
+// report to match the scalar oracle computed up front.
+func TestBatchConcurrentShards(t *testing.T) {
+	prepared, spec, blocks := ripple(t, 8)
+	ic, err := NewIncrementalComparer(prepared, spec, blocks, 1<<9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		bi    int
+		impls []*logic.Circuit
+		want  []Report
+	}
+	var jobs []job
+	for bi, b := range blocks {
+		impls := variantImpls(len(b.Inputs), len(b.Outputs))
+		want := make([]Report, len(impls))
+		for i, impl := range impls {
+			rep, err := ic.CompareCandidate(bi, impl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = rep
+		}
+		jobs = append(jobs, job{bi: bi, impls: impls, want: want})
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		sh := ic.Shard()
+		wg.Add(1)
+		go func(w int, sh *Shard) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				for i := w; i < len(jobs); i += workers {
+					j := jobs[i]
+					got := make([]Report, len(j.impls))
+					if err := sh.CompareCandidates(j.bi, j.impls, got); err != nil {
+						errc <- err
+						return
+					}
+					for k := range got {
+						if got[k] != j.want[k] {
+							errc <- fmt.Errorf("worker %d block %d lane %d: got %+v want %+v",
+								w, j.bi, k, got[k], j.want[k])
+							return
+						}
+					}
+				}
+			}
+		}(w, sh)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -58,7 +58,11 @@ type IncrementalComparer struct {
 	// cached partial instead of re-decoding the batch.
 	stats []batchStats
 
+	// lanes is the batch lane width used by CompareCandidates (SetLanes).
+	lanes int
+
 	scratchPool sync.Pool
+	batchPool   sync.Pool
 }
 
 // NewIncrementalComparer prepares the incremental evaluation engine for the
@@ -88,6 +92,7 @@ func NewIncrementalComparer(ref *logic.Circuit, spec OutputSpec, blocks []partit
 		blocks: blocks,
 		impls:  make([]*logic.Circuit, len(blocks)),
 		stats:  make([]batchStats, eval.nBatches),
+		lanes:  DefaultLanes,
 	}
 	// Cache the accurate circuit's full node-word state per batch.
 	sim := logic.NewSimulator(ref)
@@ -120,12 +125,13 @@ type progOp struct {
 	a, b, c int32
 }
 
-// coneUnit is one stretch of the compiled cone. checkIns == nil means an
+// coneUnit is one stretch of the compiled cone. An empty checkIns means an
 // unconditional run of accurate gates. Otherwise the unit is a committed
 // block implementation: per batch its boundary inputs (checkIns, whose slots
 // are always valid at this point) are compared against the cache; when none
 // changed the whole unit is skipped and its outputs (outNodes) are staged
-// from the cache instead.
+// from the cache instead. Committed-region units always carry at least one
+// checkIn — regions with no dirty boundary input are never compiled at all.
 type coneUnit struct {
 	ops      []progOp
 	checkIns []logic.NodeID
@@ -164,8 +170,25 @@ type icScratch struct {
 	outSrc []int32
 	nSlots int
 
+	// Compile-time work buffers, reused across evaluations so compilation
+	// performs no steady-state allocation: slotOfBuf/implOutBuf back
+	// compileImpl's node→slot map and output-operand list, inOpsBuf holds the
+	// candidate block's input operands, rInBuf a committed region's.
+	slotOfBuf  []int32
+	implOutBuf []int32
+	inOpsBuf   []int32
+	rInBuf     []int32
+
 	out []uint64
 	acc reportAccum
+}
+
+// grow32 returns buf resized to n, reallocating only on growth.
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n+n/2+8)
+	}
+	return buf[:n]
 }
 
 // prepScratch sizes a scratch for the reference circuit and resets the
@@ -229,14 +252,14 @@ func (sc *icScratch) markDirty(n logic.NodeID) {
 	}
 }
 
-// pushUnit appends a cone unit, reusing a previous compilation's op storage
-// when available, and returns its index.
+// pushUnit appends a cone unit, reusing a previous compilation's op and
+// checkIn storage when available, and returns its index.
 func (sc *icScratch) pushUnit() int {
 	if len(sc.cone) < cap(sc.cone) {
 		sc.cone = sc.cone[:len(sc.cone)+1]
 		u := &sc.cone[len(sc.cone)-1]
 		u.ops = u.ops[:0]
-		u.checkIns = nil
+		u.checkIns = u.checkIns[:0]
 		u.outNodes = nil
 	} else {
 		sc.cone = append(sc.cone, coneUnit{})
@@ -256,11 +279,14 @@ func (sc *icScratch) operand(n logic.NodeID, frontier *[]logic.NodeID) int32 {
 }
 
 // compileImpl appends an implementation's gates to ops, with the impl's
-// primary inputs bound to the given operands. It returns ops and the operand
-// of every impl output. Impl constants read the committed cache's constant
-// nodes (slot 0 = 0, slot 1 = all-ones), staged via the segment frontier.
-func (sc *icScratch) compileImpl(ops []progOp, impl *logic.Circuit, inOps []int32, frontier *[]logic.NodeID) ([]progOp, []int32) {
-	slotOf := make([]int32, len(impl.Nodes))
+// primary inputs bound to the given operands and internal values assigned
+// fresh slots from *next. It returns ops and the operand of every impl output
+// (valid until the next compileImpl call on this scratch — both are backed by
+// reused buffers). Impl constants read the committed cache's constant nodes
+// (slot 0 = 0, slot 1 = all-ones), staged via the segment frontier.
+func (sc *icScratch) compileImpl(ops []progOp, impl *logic.Circuit, inOps []int32, frontier *[]logic.NodeID, next *int) ([]progOp, []int32) {
+	sc.slotOfBuf = grow32(sc.slotOfBuf, len(impl.Nodes))
+	slotOf := sc.slotOfBuf[:len(impl.Nodes)]
 	c0 := sc.operand(0, frontier)
 	c1 := sc.operand(1, frontier)
 	for i := range slotOf {
@@ -276,8 +302,8 @@ func (sc *icScratch) compileImpl(ops []progOp, impl *logic.Circuit, inOps []int3
 		case logic.Const0, logic.Const1, logic.Input:
 			continue
 		}
-		dst := int32(sc.nSlots)
-		sc.nSlots++
+		dst := int32(*next)
+		*next++
 		op := progOp{op: n.Op, dst: dst}
 		fan := n.Fanins()
 		if len(fan) > 0 {
@@ -292,7 +318,8 @@ func (sc *icScratch) compileImpl(ops []progOp, impl *logic.Circuit, inOps []int3
 		ops = append(ops, op)
 		slotOf[i] = dst
 	}
-	outs := make([]int32, len(impl.Outputs))
+	sc.implOutBuf = grow32(sc.implOutBuf, len(impl.Outputs))
+	outs := sc.implOutBuf[:len(impl.Outputs)]
 	for j, o := range impl.Outputs {
 		outs[j] = slotOf[o]
 	}
@@ -308,12 +335,13 @@ func (ic *IncrementalComparer) compile(bi int, impl *logic.Circuit, sc *icScratc
 
 	// Segment 1: the candidate implementation. Its inputs are upstream of
 	// the block and therefore always read the committed cache.
-	inOps := make([]int32, len(b.Inputs))
+	sc.inOpsBuf = grow32(sc.inOpsBuf, len(b.Inputs))
+	inOps := sc.inOpsBuf[:len(b.Inputs)]
 	for i, in := range b.Inputs {
 		inOps[i] = sc.operand(in, &sc.implFrontier)
 	}
 	var outOps []int32
-	sc.implOps, outOps = sc.compileImpl(sc.implOps, impl, inOps, &sc.implFrontier)
+	sc.implOps, outOps = sc.compileImpl(sc.implOps, impl, inOps, &sc.implFrontier, &sc.nSlots)
 	// Stage outputs in contiguous slots (a Buf per output) so the runner can
 	// compare them against the cache without an operand indirection.
 	for j, o := range outOps {
@@ -325,37 +353,58 @@ func (ic *IncrementalComparer) compile(bi int, impl *logic.Circuit, sc *icScratc
 		sc.markDirty(b.Outputs[j])
 	}
 
-	// Segment 2: the transitive fanout cone, region by region. Consecutive
-	// accurate gates merge into one unconditional unit; each committed
-	// region becomes a conditional unit that is skipped per batch when the
-	// wave has not reached its boundary inputs.
+	ic.compileCone(bi, sc)
+
+	// Output assembly reads slots uniformly: stage every output node the
+	// cone does not recompute.
+	for _, o := range c.Outputs {
+		sc.outSrc = append(sc.outSrc, sc.operand(o, &sc.coneFrontier))
+	}
+	if len(sc.slots) < sc.nSlots {
+		sc.slots = make([]uint64, sc.nSlots+sc.nSlots/2)
+	}
+}
+
+// compileCone builds segment 2 — the transitive fanout cone downstream of
+// block bi, region by region — from the dirty marks left by segment 1 (the
+// candidate block's outputs, or for a batch every lane's shared output
+// slots). Consecutive accurate gates merge into one unconditional unit; each
+// committed region becomes a conditional unit that is skipped per batch when
+// the wave has not reached its boundary inputs.
+func (ic *IncrementalComparer) compileCone(bi int, sc *icScratch) {
+	c := ic.eval.ref
 	gateUnit := -1
 	for rj := bi + 1; rj < len(ic.blocks); rj++ {
 		rb := &ic.blocks[rj]
 		if rimpl := ic.impls[rj]; rimpl != nil {
 			// Approximated downstream block: re-simulate the whole
 			// implementation when any boundary input is dirty.
-			var checkIns []logic.NodeID
+			nDirty := 0
 			for _, in := range rb.Inputs {
 				if sc.dirty[in] {
-					checkIns = append(checkIns, in)
+					nDirty++
 				}
 			}
-			if checkIns == nil {
+			if nDirty == 0 {
 				continue
 			}
-			rIn := make([]int32, len(rb.Inputs))
+			sc.rInBuf = grow32(sc.rInBuf, len(rb.Inputs))
+			rIn := sc.rInBuf[:len(rb.Inputs)]
 			for i, in := range rb.Inputs {
 				rIn[i] = sc.operand(in, &sc.coneFrontier)
 			}
 			ui := sc.pushUnit()
-			ops, rOut := sc.compileImpl(sc.cone[ui].ops, rimpl, rIn, &sc.coneFrontier)
+			for _, in := range rb.Inputs {
+				if sc.dirty[in] {
+					sc.cone[ui].checkIns = append(sc.cone[ui].checkIns, in)
+				}
+			}
+			ops, rOut := sc.compileImpl(sc.cone[ui].ops, rimpl, rIn, &sc.coneFrontier, &sc.nSlots)
 			for j, o := range rOut {
 				ops = append(ops, progOp{op: logic.Buf, dst: int32(rb.Outputs[j]), a: o})
 				sc.markDirty(rb.Outputs[j])
 			}
 			sc.cone[ui].ops = ops
-			sc.cone[ui].checkIns = checkIns
 			sc.cone[ui].outNodes = rb.Outputs
 			gateUnit = -1
 		} else {
@@ -390,15 +439,6 @@ func (ic *IncrementalComparer) compile(bi int, impl *logic.Circuit, sc *icScratc
 				sc.markDirty(g)
 			}
 		}
-	}
-
-	// Output assembly reads slots uniformly: stage every output node the
-	// cone does not recompute.
-	for _, o := range c.Outputs {
-		sc.outSrc = append(sc.outSrc, sc.operand(o, &sc.coneFrontier))
-	}
-	if len(sc.slots) < sc.nSlots {
-		sc.slots = make([]uint64, sc.nSlots+sc.nSlots/2)
 	}
 }
 
@@ -461,7 +501,7 @@ func (sc *icScratch) runBatch(base []uint64) (clean bool) {
 	}
 	for ui := range sc.cone {
 		u := &sc.cone[ui]
-		if u.checkIns != nil {
+		if len(u.checkIns) > 0 {
 			hit := false
 			for _, in := range u.checkIns {
 				if w[in] != base[in] {
@@ -635,8 +675,9 @@ func (ic *IncrementalComparer) reportFromBase() Report {
 // through any Shard returns a report bit-identical to the parent's
 // CompareCandidate — sharding affects scheduling, never results.
 type Shard struct {
-	ic *IncrementalComparer
-	sc icScratch
+	ic  *IncrementalComparer
+	sc  icScratch
+	bsc batchScratch
 }
 
 // Shard creates a worker-private evaluation handle (see Shard).

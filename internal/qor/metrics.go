@@ -26,4 +26,11 @@ var (
 		"blasys_qor_eval_batch_count",
 		"Sample batches examined per candidate eval (0 when the dirty cone misses every output).",
 		telemetry.CountBuckets)
+	mBatchPasses = telemetry.Default().Counter(
+		"blasys_qor_batch_passes_total",
+		"Fused lane-packed evaluation passes (one shared cone compile covering all lanes of a chunk).")
+	mBatchLanes = telemetry.Default().Histogram(
+		"blasys_qor_batch_lane_count",
+		"Candidate lanes fused per batch evaluation pass.",
+		telemetry.CountBuckets)
 )

@@ -333,6 +333,9 @@ type batchStats struct {
 	// being computed (bit position within the group, and its 64-lane diff).
 	diffJ []uint
 	diffD []uint64
+	// diff is scratch for the masked per-output diff words, computed once in
+	// the hamming pre-pass and reused by the per-group scan.
+	diff []uint64
 }
 
 // reset zeroes the partial for nGroups output groups.
@@ -360,16 +363,24 @@ func (p *batchStats) reset(nGroups int) {
 // skipping the per-lane reference gather.
 func computeBatchStats(spec *OutputSpec, out, refOut []uint64, mask uint64, p *batchStats, rc *refLanes, batch int) {
 	p.reset(len(spec.Groups))
+	if cap(p.diff) < len(out) {
+		p.diff = make([]uint64, len(out)+len(out)/2+8)
+	}
+	diff := p.diff[:len(out)]
 	var anyDiff uint64
+	var hamming int
 	for o := range out {
 		d := (out[o] ^ refOut[o]) & mask
-		p.hamming += int64(bits.OnesCount64(d))
+		diff[o] = d
+		hamming += bits.OnesCount64(d)
 		anyDiff |= d
 	}
+	p.hamming += int64(hamming)
 	p.errSamples += int64(bits.OnesCount64(anyDiff))
 	if anyDiff == 0 {
 		return // bit-exact batch: no numeric error either
 	}
+	worstRel, worstAbs := p.worstRel, p.worstAbs
 	for gi := range spec.Groups {
 		g := &spec.Groups[gi]
 		// Collect the group bits that mismatch anywhere in the batch —
@@ -378,12 +389,17 @@ func computeBatchStats(spec *OutputSpec, out, refOut []uint64, mask uint64, p *b
 		p.diffD = p.diffD[:0]
 		var groupDiff uint64
 		for j, bit := range g.Bits {
-			if d := (out[bit] ^ refOut[bit]) & mask; d != 0 {
+			if d := diff[bit]; d != 0 {
 				p.diffJ = append(p.diffJ, uint(j))
 				p.diffD = append(p.diffD, d)
 				groupDiff |= d
 			}
 		}
+		// Local accumulators: each group index is visited exactly once after
+		// reset, so storing the locally-summed values keeps the float add
+		// order (and hence the bits) identical to accumulating in place.
+		diffJ, diffD := p.diffJ, p.diffD
+		var sumAbs, sumSq, sumRel float64
 		for lanes := groupDiff; lanes != 0; lanes &= lanes - 1 {
 			lane := uint(bits.TrailingZeros64(lanes))
 			var rv, den float64
@@ -399,27 +415,31 @@ func computeBatchStats(spec *OutputSpec, out, refOut []uint64, mask uint64, p *b
 				den = math.Max(math.Abs(rv), 1)
 			}
 			// The candidate's group value is the reference with only the
-			// differing bits flipped.
-			avInt := rvInt
-			for di, j := range p.diffJ {
-				if p.diffD[di]>>lane&1 != 0 {
-					avInt ^= 1 << j
-				}
+			// differing bits flipped. The mismatching bit positions are
+			// distinct, so OR-ing the selected masks equals the conditional
+			// per-bit XOR — branch-free.
+			var flip uint64
+			for di, j := range diffJ {
+				flip |= (diffD[di] >> lane & 1) << j
 			}
-			av := groupFloat(g, avInt)
+			av := groupFloat(g, rvInt^flip)
 			abs := math.Abs(av - rv)
 			rel := abs / den
-			p.sumAbs[gi] += abs
-			p.sumSq[gi] += abs * abs
-			p.sumRel[gi] += rel
-			if rel > p.worstRel {
-				p.worstRel = rel
+			sumAbs += abs
+			sumSq += abs * abs
+			sumRel += rel
+			if rel > worstRel {
+				worstRel = rel
 			}
-			if abs > p.worstAbs {
-				p.worstAbs = abs
+			if abs > worstAbs {
+				worstAbs = abs
 			}
 		}
+		p.sumAbs[gi] = sumAbs
+		p.sumSq[gi] = sumSq
+		p.sumRel[gi] = sumRel
 	}
+	p.worstRel, p.worstAbs = worstRel, worstAbs
 }
 
 // reportAccum accumulates per-batch statistics into a Report. Both evaluator

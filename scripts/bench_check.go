@@ -4,22 +4,32 @@
 // watched throughput metric regressed beyond the tolerance.
 //
 // The default watch set covers the hot-path headline throughputs
-// (candidate-evals/sec, explore-steps/sec) plus the same-process speedup
-// ratios (candidate-eval-speedup-x, explore-speedup-x). The ratios compare
-// two legs measured in the same run, so machine speed cancels out and they
-// stay meaningful across dissimilar hardware; the absolute rates catch
-// regressions the ratios cannot (both legs slowing down together) but are
-// inherently noisier when baseline and fresh records come from different
-// machines or a loaded runner — tune -max-regress or -units if the gate
-// proves flaky in a given CI fleet. Metrics present in the baseline but
-// missing from the fresh record are reported as failures too — a silently
-// vanished benchmark must not pass the gate.
+// (candidate-evals/sec, explore-steps/sec, batch-candidate-evals/sec) plus
+// the same-process speedup ratios (candidate-eval-speedup-x,
+// explore-speedup-x, batch-speedup-x). The ratios compare two legs measured
+// in the same run, so machine speed cancels out and they stay meaningful
+// across dissimilar hardware; the absolute rates catch regressions the
+// ratios cannot (both legs slowing down together) but are inherently noisier
+// when baseline and fresh records come from different machines or a loaded
+// runner — tune -max-regress or -units if the gate proves flaky in a given
+// CI fleet. Metrics present in the baseline but missing from the fresh
+// record are reported as failures too — a silently vanished benchmark must
+// not pass the gate.
+//
+// -ceilings gates absolute upper bounds on the FRESH record alone, without
+// needing a baseline row: 'batch-allocs/op=8' fails the gate if any fresh
+// metric with unit batch-allocs/op exceeds 8, and also fails if no fresh
+// metric carries that unit at all (a vanished benchmark must not pass). This
+// is how per-op allocation budgets on the fused batch path are enforced —
+// allocation counts are machine-independent, so a hard ceiling is reliable
+// where absolute throughput is not.
 //
 // Usage:
 //
 //	go run scripts/bench_check.go -new BENCH_ci.json
 //	go run scripts/bench_check.go -new BENCH_ci.json -baseline BENCH_2026-07-29.json \
-//	    -max-regress 0.30 -units 'candidate-evals/sec,explore-steps/sec'
+//	    -max-regress 0.30 -units 'candidate-evals/sec,explore-steps/sec' \
+//	    -ceilings 'batch-allocs/op=8'
 //
 // Without -baseline, the lexicographically newest BENCH_*.json in the
 // current directory other than -new is used (file names embed ISO dates, so
@@ -58,8 +68,11 @@ func main() {
 		basePath   = flag.String("baseline", "", "committed baseline record (default: newest BENCH_*.json other than -new)")
 		maxRegress = flag.Float64("max-regress", 0.30, "maximum tolerated fractional drop per watched metric")
 		unitsFlag  = flag.String("units",
-			"candidate-evals/sec,explore-steps/sec,candidate-eval-speedup-x,explore-speedup-x",
+			"candidate-evals/sec,explore-steps/sec,candidate-eval-speedup-x,explore-speedup-x,"+
+				"batch-candidate-evals/sec,batch-speedup-x",
 			"comma-separated metric units to gate on")
+		ceilFlag = flag.String("ceilings", "",
+			"comma-separated unit=max pairs checked against the fresh record only (e.g. 'batch-allocs/op=8')")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -67,7 +80,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*newPath, *basePath, *maxRegress, splitUnits(*unitsFlag)); err != nil {
+	ceilings, err := splitCeilings(*ceilFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_check:", err)
+		os.Exit(2)
+	}
+	if err := run(*newPath, *basePath, *maxRegress, splitUnits(*unitsFlag), ceilings); err != nil {
 		fmt.Fprintln(os.Stderr, "bench_check:", err)
 		os.Exit(1)
 	}
@@ -83,7 +101,28 @@ func splitUnits(s string) map[string]bool {
 	return units
 }
 
-func run(newPath, basePath string, maxRegress float64, units map[string]bool) error {
+// splitCeilings parses 'unit=max,unit=max' into a map of per-unit upper
+// bounds.
+func splitCeilings(s string) (map[string]float64, error) {
+	ceilings := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		unit, maxStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -ceilings entry %q: want unit=max", pair)
+		}
+		var limit float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(maxStr), "%g", &limit); err != nil {
+			return nil, fmt.Errorf("bad -ceilings limit %q: %v", maxStr, err)
+		}
+		ceilings[strings.TrimSpace(unit)] = limit
+	}
+	return ceilings, nil
+}
+
+func run(newPath, basePath string, maxRegress float64, units map[string]bool, ceilings map[string]float64) error {
 	if basePath == "" {
 		var err error
 		if basePath, err = latestBaseline(newPath); err != nil {
@@ -131,11 +170,39 @@ func run(newPath, basePath string, maxRegress float64, units map[string]bool) er
 		return fmt.Errorf("baseline %s has no metrics with watched units %v — wrong file or wrong -units",
 			basePath, keys(units))
 	}
+	// Ceilings gate the fresh record alone: machine-independent budgets
+	// (allocation counts) that must hold regardless of baseline history.
+	ceilUnits := make([]string, 0, len(ceilings))
+	for u := range ceilings {
+		ceilUnits = append(ceilUnits, u)
+	}
+	sort.Strings(ceilUnits)
+	for _, unit := range ceilUnits {
+		limit := ceilings[unit]
+		seen := 0
+		for _, m := range fresh.Metrics {
+			if m.Unit != unit {
+				continue
+			}
+			seen++
+			status := "ok"
+			if m.Value > limit {
+				status = "OVER CEILING"
+				failures = append(failures, fmt.Sprintf("%s [%s]: %.2f exceeds ceiling %.2f",
+					m.Bench, m.Unit, m.Value, limit))
+			}
+			fmt.Printf("  %-60s %-22s %12.2f <= %12.2f            %s\n", m.Bench, m.Unit, m.Value, limit, status)
+		}
+		if seen == 0 {
+			failures = append(failures, fmt.Sprintf("[%s]: no fresh metric carries this ceiling unit", unit))
+		}
+	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%:\n  %s",
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%% or broke a ceiling:\n  %s",
 			len(failures), 100*maxRegress, strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("bench gate passed: %d metric(s) within tolerance\n", checked)
+	fmt.Printf("bench gate passed: %d metric(s) within tolerance, %d ceiling unit(s) honored\n",
+		checked, len(ceilings))
 	return nil
 }
 
