@@ -60,7 +60,8 @@
 //
 // This package is a facade: it re-exports the library's main types and entry
 // points so downstream users need a single import. The implementation lives
-// in the internal packages, one per subsystem (see DESIGN.md for the map).
+// in the internal packages, one per subsystem (see docs/ARCHITECTURE.md for
+// the map, and DESIGN.md for the deep design of the hot paths).
 package blasys
 
 import (

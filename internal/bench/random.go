@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/qor"
@@ -27,6 +29,51 @@ func (o RandomOptions) withDefaults() RandomOptions {
 		o.Outputs = 6
 	}
 	return o
+}
+
+// Resolve maps a circuit spec string to a benchmark: either a Table 1 name
+// accepted by ByName ("Mult8", "Adder32", ...) or a seeded random circuit of
+// the form "rand:<seed>" / "rand:<seed>:<inputs>x<gates>x<outputs>". Random
+// specs are fully determined by their text, so a spec written into an
+// experiment manifest or a benchmark corpus always regenerates the same
+// netlist.
+func Resolve(spec string) (Circuit, error) {
+	if !strings.HasPrefix(spec, "rand:") {
+		return ByName(spec)
+	}
+	parts := strings.Split(spec[len("rand:"):], ":")
+	if len(parts) != 1 && len(parts) != 2 {
+		return Circuit{}, fmt.Errorf("bench: bad random spec %q (want rand:<seed> or rand:<seed>:<in>x<gates>x<out>)", spec)
+	}
+	seed, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return Circuit{}, fmt.Errorf("bench: bad random-spec seed in %q: %v", spec, err)
+	}
+	var opts RandomOptions
+	if len(parts) == 2 {
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 3 {
+			return Circuit{}, fmt.Errorf("bench: bad random-spec shape in %q (want <in>x<gates>x<out>)", spec)
+		}
+		vals := make([]int, 3)
+		for i, d := range dims {
+			vals[i], err = strconv.Atoi(d)
+			if err != nil || vals[i] <= 0 {
+				return Circuit{}, fmt.Errorf("bench: bad random-spec shape in %q: %q", spec, d)
+			}
+		}
+		opts = RandomOptions{Inputs: vals[0], Gates: vals[1], Outputs: vals[2]}
+	}
+	c := RandomCircuit(rand.New(rand.NewSource(seed)), opts)
+	c.Name = spec // the spec is the identity; keep it round-trippable
+	c.Circ.Name = sanitizeName(spec)
+	return c, nil
+}
+
+// sanitizeName makes a spec usable as a netlist model name (BLIF and Verilog
+// identifiers dislike ':').
+func sanitizeName(s string) string {
+	return strings.ReplaceAll(s, ":", "_")
 }
 
 // RandomCircuit generates a seeded random combinational circuit: each gate

@@ -16,6 +16,10 @@
 # benchmark failure fails the script even though the JSON writer runs from
 # TestMain afterwards — and output streams live.
 #
+# Microbenchmarks here measure single hot loops; the multi-seed experiment
+# grids that regenerate DESIGN.md's claims (with pass-criteria verdicts)
+# live next door: ./scripts/experiments/run_all.sh, docs/EXPERIMENTS.md.
+#
 # Usage:
 #   scripts/bench.sh                      # full suite, BENCH_$(date +%F).json
 #   scripts/bench.sh 'Compare|Explore'    # only benchmarks matching the pattern

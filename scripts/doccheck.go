@@ -1,0 +1,94 @@
+//go:build ignore
+
+// Command doccheck is the docs CI gate: it walks every markdown file in the
+// repository and fails on dead intra-repo links — a relative link target
+// (path or path#anchor) that does not exist on disk. External links
+// (http/https/mailto) and pure in-page anchors are not checked.
+//
+// Usage, from the repository root:
+//
+//	go run scripts/doccheck.go
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images ![alt](target)
+// match too via the optional bang.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "node_modules" || strings.HasPrefix(name, ".claude") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	broken := 0
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipTarget(target) {
+					continue
+				}
+				// Strip an anchor; the file's existence is what we verify.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+					if target == "" {
+						continue // pure in-page anchor
+					}
+				}
+				resolved := filepath.Join(filepath.Dir(md), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s: broken link -> %s (resolved %s)\n", md, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken intra-repo link(s) across %d markdown files\n", broken, len(mdFiles))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d markdown files, all intra-repo links resolve\n", len(mdFiles))
+}
+
+func skipTarget(t string) bool {
+	switch {
+	case strings.HasPrefix(t, "http://"), strings.HasPrefix(t, "https://"),
+		strings.HasPrefix(t, "mailto:"), strings.HasPrefix(t, "#"):
+		return true
+	// Placeholder-style targets in code examples ("<path>", "$VAR").
+	case strings.ContainsAny(t, "<>$"):
+		return true
+	}
+	return false
+}
