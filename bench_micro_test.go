@@ -20,7 +20,37 @@ import (
 	"github.com/blasys-go/blasys/internal/logic"
 	"github.com/blasys-go/blasys/internal/partition"
 	"github.com/blasys-go/blasys/internal/qor"
+	"github.com/blasys-go/blasys/internal/telemetry"
 )
+
+// phaseCounters taps the qor evaluator's simulate/decode phase counters
+// through the process-global registry (get-or-create by name, so these are
+// the same counters internal/qor increments). Deltas around a timed leg
+// attribute the leg's decode share — the Amdahl denominator the lane-shared
+// decode (internal/qor decode.go) exists to shrink.
+func phaseCounters() (sim, dec *telemetry.Counter) {
+	r := telemetry.Default()
+	return r.Counter("blasys_qor_eval_sim_seconds_total", ""),
+		r.Counter("blasys_qor_eval_decode_seconds_total", "")
+}
+
+// phaseDelta captures the simulate/decode counter deltas around a timed leg;
+// fraction is decode's share of the simulate window (0 when none accrued).
+type phaseDelta struct{ sim, dec float64 }
+
+func measurePhases(fn func()) phaseDelta {
+	sim, dec := phaseCounters()
+	sim0, dec0 := sim.Value(), dec.Value()
+	fn()
+	return phaseDelta{sim: sim.Value() - sim0, dec: dec.Value() - dec0}
+}
+
+func (p phaseDelta) fraction() float64 {
+	if p.sim > 0 {
+		return p.dec / p.sim
+	}
+	return 0
+}
 
 // BenchmarkFactorize measures bmf.Factorize (ASSO + tau sweep + exact row
 // refinement) on a real Mult8 block truth matrix across all degrees.
@@ -301,8 +331,10 @@ func BenchmarkCompare(b *testing.B) {
 						incEval(c)
 					}
 				})
-				scalDur, _ := measureAllocs(scalarLadder)
-				batchDur, batchAllocs := measureAllocs(batchLadder)
+				var scalDur, batchDur time.Duration
+				var batchAllocs uint64
+				scalPhases := measurePhases(func() { scalDur, _ = measureAllocs(scalarLadder) })
+				batchPhases := measurePhases(func() { batchDur, batchAllocs = measureAllocs(batchLadder) })
 				if i == 0 {
 					n := float64(len(live))
 					preprRate := n / preprDur.Seconds()
@@ -321,13 +353,15 @@ func BenchmarkCompare(b *testing.B) {
 					nl := float64(nLadder)
 					scalRate := nl / scalDur.Seconds()
 					batchRate := nl / batchDur.Seconds()
-					b.Logf("Compare | %-8s | ladder %d candidates | scalar %8.1f evals/s | batch(w=%d) %8.1f evals/s (%.2f allocs/op) | %.1fx",
-						name, nLadder, scalRate, batchW, batchRate,
-						float64(batchAllocs)/nl, batchRate/scalRate)
+					b.Logf("Compare | %-8s | ladder %d candidates | scalar %8.1f evals/s (decode %2.0f%% of sim) | batch(w=%d) %8.1f evals/s (%.2f allocs/op, decode %2.0f%% of sim) | %.1fx",
+						name, nLadder, scalRate, 100*scalPhases.fraction(), batchW, batchRate,
+						float64(batchAllocs)/nl, 100*batchPhases.fraction(), batchRate/scalRate)
 					reportMetric(b, batchRate, "batch-candidate-evals/sec")
 					reportMetric(b, float64(batchAllocs)/nl, "batch-allocs/op")
 					reportMetric(b, batchRate/scalRate, "batch-speedup-x")
 					reportMetric(b, float64(batchW), "batch-width")
+					reportMetric(b, scalPhases.fraction(), "scalar-decode-fraction")
+					reportMetric(b, batchPhases.fraction(), "batch-decode-fraction")
 				}
 			}
 		})
@@ -419,7 +453,10 @@ func BenchmarkExplore(b *testing.B) {
 					}
 					scalSurfDur := time.Since(scalStart)
 					batchStart := time.Now()
-					batchSurf, err := incRes.BlockErrorProfiles(ctx, 1, batchW)
+					var batchSurf [][]qor.Report
+					surfPhases := measurePhases(func() {
+						batchSurf, err = incRes.BlockErrorProfiles(ctx, 1, batchW)
+					})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -434,11 +471,12 @@ func BenchmarkExplore(b *testing.B) {
 						}
 					}
 					surfRate := float64(nSurf) / batchSurfDur.Seconds()
-					b.Logf("Explore | %-8s | profile surface %d evals | scalar %v | batch(w=%d) %v | %.1fx",
-						name, nSurf, scalSurfDur, batchW, batchSurfDur,
+					b.Logf("Explore | %-8s | profile surface %d evals | scalar %v | batch(w=%d) %v (decode %2.0f%% of sim) | %.1fx",
+						name, nSurf, scalSurfDur, batchW, batchSurfDur, 100*surfPhases.fraction(),
 						float64(scalSurfDur)/float64(batchSurfDur))
 					reportMetric(b, surfRate, "profile-surface-evals/sec")
 					reportMetric(b, float64(scalSurfDur)/float64(batchSurfDur), "profile-surface-speedup-x")
+					reportMetric(b, surfPhases.fraction(), "profile-surface-decode-fraction")
 				}
 			}
 		})

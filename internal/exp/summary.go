@@ -106,6 +106,7 @@ func rowCell(r Row) Cell {
 		Circuit:     r.Circuit,
 		Workers:     r.Workers,
 		BatchWidth:  r.BatchWidth,
+		Decode:      r.Decode,
 		Incremental: r.Incremental,
 		Cache:       r.Cache,
 		FaultsLabel: r.Faults,
@@ -274,7 +275,10 @@ func compareRatios(m *Manifest, rows []Row) []Comparison {
 				cmp.Mean /= float64(n)
 			}
 			cmp.Min, cmp.Max = minEffect, maxEffect
-			if !cmp.Directional {
+			// A MinRatio below 1 is an overhead bound, not a speedup claim:
+			// only the per-seed floor applies, not directional consistency
+			// (see Pass.MinRatio).
+			if m.Pass.MinRatio >= 1 && !cmp.Directional {
 				cmp.Pass = false
 			}
 			switch {
@@ -408,7 +412,7 @@ func (s *Summary) GroupedCSV() string {
 
 // rowsCSVHeader is the raw-row column order.
 var rowsCSVHeader = []string{
-	"cell", "circuit", "workers", "batch_width", "incremental", "cache", "faults",
+	"cell", "circuit", "workers", "batch_width", "decode", "incremental", "cache", "faults",
 	"seed", "repeat", "wall_seconds", "profile_seconds", "explore_seconds",
 	"steps", "evals", "eval_seconds", "evals_per_sec", "best_error", "norm_area", "result_hash",
 }
@@ -418,8 +422,8 @@ func writeRowsCSV(path string, rows []Row) error {
 	b.WriteString(strings.Join(rowsCSVHeader, ","))
 	b.WriteByte('\n')
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%d,%d,%t,%s,%s,%d,%d,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s\n",
-			r.Cell, r.Circuit, r.Workers, r.BatchWidth, r.Incremental, r.Cache, r.Faults,
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%s,%t,%s,%s,%d,%d,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s\n",
+			r.Cell, r.Circuit, r.Workers, r.BatchWidth, r.Decode, r.Incremental, r.Cache, r.Faults,
 			r.Seed, r.Repeat, fmtF(r.WallSeconds), fmtF(r.ProfileSeconds), fmtF(r.ExploreSeconds),
 			r.Steps, r.Evals, fmtF(r.EvalSeconds), fmtF(r.EvalsPerSec),
 			fmtF(r.BestError), fmtF(r.NormArea), r.ResultHash)

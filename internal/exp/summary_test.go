@@ -132,6 +132,38 @@ func TestSummaryRatioVerdicts(t *testing.T) {
 	}
 }
 
+// TestSummaryOverheadBound pins the MinRatio < 1 semantics: the criterion is
+// an overhead bound, so a non-directional comparison still passes as long as
+// no seed falls below the floor — and still fails when one does.
+func TestSummaryOverheadBound(t *testing.T) {
+	m := goldenManifest(t)
+	m.Pass.MinRatio = 0.85
+	rows := goldenRows(m)
+	// One seed moves the wrong way but stays above the floor: ratio 0.9.
+	for i := range rows {
+		if rows[i].Incremental && rows[i].Seed == 2 {
+			rows[i].EvalsPerSec = 0.9 * (1000.0 + 10 + float64(rows[i].Repeat))
+		}
+	}
+	sum := Summarize(m, rows)
+	c := sum.Comparisons[0]
+	if c.Directional {
+		t.Error("comparison marked directional with a seed below 1")
+	}
+	if !sum.Pass {
+		t.Errorf("overhead bound failed with all seeds above the floor: %q", sum.Verdict)
+	}
+	// Push that seed below the floor: the bound must bite.
+	for i := range rows {
+		if rows[i].Incremental && rows[i].Seed == 2 {
+			rows[i].EvalsPerSec = 500
+		}
+	}
+	if sum = Summarize(m, rows); sum.Pass {
+		t.Error("overhead bound passed with a seed below the floor")
+	}
+}
+
 func TestSummaryEqualVerdicts(t *testing.T) {
 	m, err := ParseManifest([]byte(`{
 		"name": "eq",

@@ -32,9 +32,11 @@ import (
 //	            batch's cached metric partial for every lane and skip the cone
 //	segment 2   shared cone units over all lanes at once; a committed-region
 //	            unit is skipped only when NO lane dirtied its boundary inputs
-//	decode      per dirty lane: gather primary outputs, accumulate metric
-//	            partials with the exact same reportAccum code the scalar and
-//	            paper-literal paths use
+//	decode      lane-shared by default (decode.go): one diff/union scan and
+//	            one per-group bit scan per batch feed every dirty lane's
+//	            metric partials, folded through the exact same reportAccum
+//	            code the scalar and paper-literal paths use; SetLaneDecode
+//	            falls back to the per-lane scalar decode
 //
 // Each lane computes the identical per-batch word values the scalar program
 // would: lanes whose inputs equal the committed cache recompute exactly the
@@ -88,6 +90,8 @@ type batchScratch struct {
 	// clean[l] records, for the batch in flight, whether lane l's block
 	// outputs matched the committed cache.
 	clean []bool
+	// plan is the lane-shared decode scratch (see decode.go).
+	plan decodePlan
 }
 
 // CompareCandidates evaluates substituting each impls[i] into block bi on top
@@ -228,6 +232,7 @@ func (ic *IncrementalComparer) compareChunk(bs *batchScratch, bi int, impls []*l
 	}
 	out := bs.outs[:len(e.ref.Outputs)]
 	cleanLanes := 0
+	var decodeSec float64
 	for b := 0; b < e.nBatches; b++ {
 		base := ic.base[b]
 		if bs.runBatch(base) {
@@ -243,23 +248,35 @@ func (ic *IncrementalComparer) compareChunk(bs *batchScratch, bi int, impls []*l
 		if b == e.nBatches-1 {
 			mask = e.lastMask
 		}
-		w := bs.packed
-		for l := 0; l < L; l++ {
-			if bs.clean[l] {
-				bs.accs[l].fold(&ic.stats[b])
-				cleanLanes++
-				continue
+		dstart := time.Now()
+		if ic.laneDecode {
+			cleanLanes += bs.decodeLanes(ic, b, mask)
+		} else {
+			w := bs.packed
+			for l := 0; l < L; l++ {
+				if bs.clean[l] {
+					bs.accs[l].fold(&ic.stats[b])
+					cleanLanes++
+					continue
+				}
+				for i, src := range sc.outSrc {
+					out[i] = w[int(src)*L+l]
+				}
+				bs.accs[l].addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
 			}
-			for i, src := range sc.outSrc {
-				out[i] = w[int(src)*L+l]
-			}
-			bs.accs[l].addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
 		}
+		decodeSec += time.Since(dstart).Seconds()
 	}
 	for l := 0; l < L; l++ {
 		reps[l] = bs.accs[l].report(e.samples, e.exhaustive)
 	}
 	mSimSeconds.Add(time.Since(compiled).Seconds())
+	mDecodeSeconds.Add(decodeSec)
+	if p := &bs.plan; p.flipLanes != 0 || p.transLanes != 0 {
+		mDecodeGroups.With("flip").Add(float64(p.flipLanes))
+		mDecodeGroups.With("transpose").Add(float64(p.transLanes))
+		p.flipLanes, p.transLanes = 0, 0
+	}
 	mEvalBatchKind.With("clean").Add(float64(cleanLanes))
 	mEvalBatchKind.With("cone").Add(float64(L*e.nBatches - cleanLanes))
 	mEvalBatches.Observe(float64(e.nBatches))

@@ -1,0 +1,423 @@
+package qor
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Lane-shared metric decode for batched candidate evaluation.
+//
+// The scalar decode (computeBatchStats) is correct but repeats per-lane work
+// that is identical across the lanes of a fused pass: every dirty lane
+// re-gathers the primary outputs, re-walks each group's Bits to find the
+// mismatching bit positions, and re-fetches the cached reference decode for
+// every mismatching sample. The lane-shared path hoists all of that to batch
+// level:
+//
+//	pass 1  one masked diff scan over the packed output rows produces every
+//	        lane's per-output diff words and their cross-lane union
+//	pass 2  per-lane hamming / error-sample counts read only the outputs the
+//	        union marked dirty
+//	pass 3  the per-group (bit position, output) scan of Group.Bits runs once
+//	        per batch over the union, instead of once per dirty lane
+//	pass 4  samples iterate each group's union diff: the cached reference
+//	        decode (raw integer, float, denominator) is fetched once per
+//	        (group, sample) and shared by every lane mismatching there
+//
+// Candidate values come from one of two per-lane strategies, chosen by how
+// much dirt the lane carries in the group. Lightly-dirty lanes flip the
+// cached reference integer's differing bits, exactly like the scalar path.
+// Heavily-dirty lanes (>= the transpose threshold in dirty bits) gather their
+// packed output words into per-sample group integers with one 64x64
+// bit-matrix transpose, a fixed cost that replaces the flip reconstruction
+// whose cost grows with the lane's dirty-bit count.
+//
+// Bit-identity with the scalar decode is by construction: per lane, the same
+// comparisons run in the same order (groups ascending, samples ascending
+// within each group, exactly the lane's own mismatching samples), each on the
+// same float operands — the flip reconstruction uses the identical cached
+// integers, and the transpose produces the identical group integer (the
+// candidate's own bits, which equal reference ^ diff at every valid sample).
+// Per-group sums accumulate in lane-local scalars and store once, mirroring
+// computeBatchStats' local-sums pattern, and every batch folds through the
+// same reportAccum.fold in the same lane order. The kernel CI job pins the
+// guarantee with TestLaneDecodeFuzzDifferential.
+
+// DefaultTransposeBits is the per-lane dirty-bit count of a group in one
+// batch at or above which the lane-shared decode gathers that lane's
+// candidate values by bit-matrix transpose instead of per-bit flips. The flip
+// reconstruction costs a couple of ops per dirty bit of the lane's own diff;
+// the transpose is a fixed gather (64x6 masked swaps + one word per group
+// bit, ~450 ops) per lane regardless of dirt. A static group-width crossover
+// mispredicts — a wide group with sparse dirt flips faster than it transposes
+// — so the decision is per (group, lane, batch) on the dirt the lane actually
+// carries. Measured on the benchgen wide-group corpus (BenchmarkLaneDecode,
+// thresholds swept 96..448): the crossover is shallow — flip alone is within
+// ~10% of optimal everywhere — and only extremely dirty lanes repay the
+// fixed transpose cost (448 beat flip at w16/w32 and tied at w24; lower
+// thresholds never won). See DESIGN.md "Batched lanes" for the numbers.
+const DefaultTransposeBits = 448
+
+// SetLaneDecode selects the metric decode used by CompareCandidates: the
+// lane-shared batch decode (the default) or the scalar per-lane decode. Pure
+// scheduling — both produce bit-identical reports; the scalar decode is kept
+// as the differential baseline and for A/B measurement. Not safe concurrently
+// with evaluation.
+func (ic *IncrementalComparer) SetLaneDecode(on bool) { ic.laneDecode = on }
+
+// LaneDecode reports whether the lane-shared batch decode is enabled.
+func (ic *IncrementalComparer) LaneDecode() bool { return ic.laneDecode }
+
+// SetTransposeThreshold sets the per-lane dirty-bit count at or above which
+// the lane-shared decode uses the transpose gather for a lane's group;
+// bitsWide <= 0 restores DefaultTransposeBits. Pure scheduling: both
+// strategies produce bit-identical reports. Not safe concurrently with
+// evaluation.
+func (ic *IncrementalComparer) SetTransposeThreshold(bitsWide int) {
+	if bitsWide <= 0 {
+		bitsWide = DefaultTransposeBits
+	}
+	ic.transposeBits = bitsWide
+}
+
+// TransposeThreshold returns the current transpose-gather dirty-bit threshold.
+func (ic *IncrementalComparer) TransposeThreshold() int { return ic.transposeBits }
+
+// decodePlan is the pooled scratch of the lane-shared decode: per-output
+// lane diffs and unions, the hoisted per-group entry scan, per-lane partials,
+// and the transpose gather buffer. All slices grow once and are reused across
+// batches and evaluations (the plan lives in batchScratch).
+type decodePlan struct {
+	laneDiff  []uint64 // [out*L+l] masked diff of output out in lane l (0 for clean lanes)
+	unionDiff []uint64 // [out] OR of laneDiff across lanes
+	dirtyOuts []int32  // outputs with a nonzero union diff
+	anyLane   []uint64 // [l] OR of laneDiff across outputs (per-lane sample diff)
+
+	entJ      []int32  // group-scan entries: bit position within the group...
+	entO      []int32  // ...and the output index it reads
+	groupOff  []int32  // [gi] offsets into entJ/entO, length nGroups+1
+	groupDiff []uint64 // [gi] union diff over the group's bits and all lanes
+
+	laneGroup []uint64 // [l] current group's diff in lane l
+	laneBits  []int    // [l] current group's dirty-bit count in lane l
+	tvals     []uint64 // [l*64+s] candidate group integers (both strategies)
+
+	// sampleLanes[s] is the mask of lanes mismatching the current group at
+	// sample s — the transpose of laneGroup, built in O(total dirt) so the
+	// accumulation loop touches only dirty (sample, lane) pairs instead of
+	// scanning every lane at every union sample (lanes' dirt is mostly
+	// disjoint on narrow circuits, where that scan costs L times the work).
+	sampleLanes [64]uint32
+
+	sumAbs, sumSq, sumRel []float64 // per-lane local sums for the current group
+	wr, wa                []float64 // per-lane worst trackers across the batch
+
+	stats []batchStats // per-lane batch partials
+
+	// flipLanes / transLanes count decoded (group, lane, batch) triples per
+	// strategy, flushed to mDecodeGroups once per fused pass.
+	flipLanes, transLanes int64
+}
+
+// size grows the plan for a pass of L lanes over nOut outputs and nGroups
+// groups. The per-lane sum scalars are maintained zero outside pass 4, so
+// re-sizing never needs to clear them.
+func (p *decodePlan) size(L, nOut, nGroups int) {
+	if cap(p.laneDiff) < nOut*L {
+		p.laneDiff = make([]uint64, nOut*L)
+		p.unionDiff = make([]uint64, nOut)
+		p.dirtyOuts = make([]int32, 0, nOut)
+	}
+	p.laneDiff = p.laneDiff[:nOut*L]
+	p.unionDiff = p.unionDiff[:nOut]
+	if cap(p.groupOff) < nGroups+1 {
+		p.groupOff = make([]int32, nGroups+1)
+		p.groupDiff = make([]uint64, nGroups)
+	}
+	p.groupOff = p.groupOff[:nGroups+1]
+	p.groupDiff = p.groupDiff[:nGroups]
+	if cap(p.anyLane) < L {
+		p.anyLane = make([]uint64, L)
+		p.laneGroup = make([]uint64, L)
+		p.laneBits = make([]int, L)
+		p.tvals = make([]uint64, L*64)
+		p.sumAbs = make([]float64, L)
+		p.sumSq = make([]float64, L)
+		p.sumRel = make([]float64, L)
+		p.wr = make([]float64, L)
+		p.wa = make([]float64, L)
+	}
+	p.anyLane = p.anyLane[:L]
+	p.laneGroup = p.laneGroup[:L]
+	p.laneBits = p.laneBits[:L]
+	p.tvals = p.tvals[:L*64]
+	p.sumAbs, p.sumSq, p.sumRel = p.sumAbs[:L], p.sumSq[:L], p.sumRel[:L]
+	p.wr, p.wa = p.wr[:L], p.wa[:L]
+	for len(p.stats) < L {
+		p.stats = append(p.stats, batchStats{})
+	}
+}
+
+// decodeLanes scores one sample batch for every lane of a fused pass with the
+// lane-shared decode plan, folding per-lane partials — cached committed
+// partials for clean lanes — into bs.accs in lane order, the same fold order
+// as the scalar per-lane decode. It returns the number of clean lanes folded
+// from cache. Clean lanes' packed words may be stale (sparse-fallback mode
+// skips their cone), so they are excluded from every diff scan.
+func (bs *batchScratch) decodeLanes(ic *IncrementalComparer, b int, mask uint64) (cleanLanes int) {
+	e := ic.eval
+	sc := &bs.sc
+	L := bs.lanes
+	p := &bs.plan
+	w := bs.packed
+	refOut := e.refOut[b]
+	nOut := len(sc.outSrc)
+	nGroups := len(e.spec.Groups)
+	p.size(L, nOut, nGroups)
+
+	// Pass 1: per-lane masked diffs and their cross-lane union, one touch per
+	// packed output row.
+	dirtyOuts := p.dirtyOuts[:0]
+	for i := 0; i < nOut; i++ {
+		row := w[int(sc.outSrc[i])*L : int(sc.outSrc[i])*L+L]
+		ref := refOut[i]
+		ld := p.laneDiff[i*L : i*L+L]
+		var u uint64
+		for l := 0; l < L; l++ {
+			if bs.clean[l] {
+				ld[l] = 0
+				continue
+			}
+			d := (row[l] ^ ref) & mask
+			ld[l] = d
+			u |= d
+		}
+		p.unionDiff[i] = u
+		if u != 0 {
+			dirtyOuts = append(dirtyOuts, int32(i))
+		}
+	}
+	p.dirtyOuts = dirtyOuts
+
+	// Pass 2: per-lane bit/sample mismatch counts over the dirty outputs only
+	// (zero-diff outputs contribute nothing, exactly as in the scalar scan).
+	for l := 0; l < L; l++ {
+		if bs.clean[l] {
+			continue
+		}
+		st := &p.stats[l]
+		st.reset(nGroups)
+		ham := 0
+		var any uint64
+		for _, o := range dirtyOuts {
+			d := p.laneDiff[int(o)*L+l]
+			ham += bits.OnesCount64(d)
+			any |= d
+		}
+		st.hamming = int64(ham)
+		st.errSamples = int64(bits.OnesCount64(any))
+		p.anyLane[l] = any
+		p.wr[l], p.wa[l] = 0, 0
+	}
+
+	if len(dirtyOuts) > 0 {
+		bs.decodeGroups(ic, b)
+	}
+
+	for l := 0; l < L; l++ {
+		if bs.clean[l] {
+			bs.accs[l].fold(&ic.stats[b])
+			cleanLanes++
+			continue
+		}
+		st := &p.stats[l]
+		st.worstRel, st.worstAbs = p.wr[l], p.wa[l]
+		bs.accs[l].fold(st)
+	}
+	return cleanLanes
+}
+
+// decodeGroups runs passes 3 and 4 of the lane-shared decode: the hoisted
+// per-group entry scan and the numeric-error accumulation across every live
+// (group, sample, lane) triple.
+func (bs *batchScratch) decodeGroups(ic *IncrementalComparer, b int) {
+	e := ic.eval
+	sc := &bs.sc
+	L := bs.lanes
+	p := &bs.plan
+	w := bs.packed
+	groups := e.spec.Groups
+
+	// Pass 3: the (bit position, output) scan of every group's Bits, once per
+	// batch over the union diff instead of once per dirty lane. Zero-diff
+	// bits drop out exactly as in the scalar scan.
+	p.entJ = p.entJ[:0]
+	p.entO = p.entO[:0]
+	p.groupOff[0] = 0
+	for gi := range groups {
+		var gu uint64
+		for j, bit := range groups[gi].Bits {
+			if u := p.unionDiff[bit]; u != 0 {
+				p.entJ = append(p.entJ, int32(j))
+				p.entO = append(p.entO, int32(bit))
+				gu |= u
+			}
+		}
+		p.groupOff[gi+1] = int32(len(p.entJ))
+		p.groupDiff[gi] = gu
+	}
+
+	// Pass 4. The cached reference decode is fetched once per (group, sample)
+	// and shared across lanes; per-lane float accumulation runs in exactly
+	// the scalar order (groups ascending, samples ascending, the lane's own
+	// mismatches only).
+	rcv := e.refLanes.vals[b]
+	rcd := e.refLanes.dec[b]
+	rcn := e.refLanes.den[b]
+	for gi := range groups {
+		gu := p.groupDiff[gi]
+		if gu == 0 {
+			continue
+		}
+		g := &groups[gi]
+		entJ := p.entJ[p.groupOff[gi]:p.groupOff[gi+1]]
+		entO := p.entO[p.groupOff[gi]:p.groupOff[gi+1]]
+
+		live := 0
+		for l := 0; l < L; l++ {
+			var d uint64
+			own := 0
+			if !bs.clean[l] && p.anyLane[l] != 0 {
+				for _, o := range entO {
+					lw := p.laneDiff[int(o)*L+l]
+					d |= lw
+					own += bits.OnesCount64(lw)
+				}
+			}
+			p.laneGroup[l] = d
+			p.laneBits[l] = own
+			if d != 0 {
+				live++
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		for rest := gu; rest != 0; rest &= rest - 1 {
+			p.sampleLanes[bits.TrailingZeros64(rest)] = 0
+		}
+		for l := 0; l < L; l++ {
+			for r := p.laneGroup[l]; r != 0; r &= r - 1 {
+				p.sampleLanes[bits.TrailingZeros64(r)] |= 1 << uint(l)
+			}
+		}
+
+		// Candidate group integers land in p.tvals[l*64+s] for each live
+		// lane's own mismatching samples, by one of two per-lane strategies
+		// costed against the lane's dirty-bit count in this group.
+		base := gi * 64
+		for l := 0; l < L; l++ {
+			d := p.laneGroup[l]
+			if d == 0 {
+				continue
+			}
+			tv := p.tvals[l*64 : l*64+64]
+			if p.laneBits[l] >= ic.transposeBits {
+				// Transpose gather: the lane's packed output words become
+				// per-sample group integers in one 64x64 bit transpose — a
+				// fixed cost regardless of dirt. Samples beyond the batch
+				// mask transpose to garbage but are never read (the union
+				// diff is masked).
+				p.transLanes++
+				var t [64]uint64
+				for j, bit := range g.Bits {
+					t[j] = w[int(sc.outSrc[bit])*L+l]
+				}
+				transpose64(&t)
+				copy(tv, t[:])
+			} else {
+				// Flip reconstruction, entry-outer: seed the lane's own
+				// mismatching samples with the cached reference integer, then
+				// xor one bit per set bit of the lane's OWN diff word per
+				// union entry. The lane pays nothing at samples where only
+				// other lanes mismatch — the same total work as the scalar
+				// decode's flip loop, with the Bits walk already hoisted.
+				p.flipLanes++
+				for r := d; r != 0; r &= r - 1 {
+					s := bits.TrailingZeros64(r)
+					tv[s] = rcv[base+s]
+				}
+				for ei, j := range entJ {
+					for r := p.laneDiff[int(entO[ei])*L+l]; r != 0; r &= r - 1 {
+						tv[bits.TrailingZeros64(r)] ^= 1 << uint(j)
+					}
+				}
+			}
+		}
+		for rest := gu; rest != 0; rest &= rest - 1 {
+			s := uint(bits.TrailingZeros64(rest))
+			idx := base + int(s)
+			rv := rcd[idx]
+			den := rcn[idx]
+			for m := p.sampleLanes[s]; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				// The candidate's group value: the transpose gathered it from
+				// the candidate's own bits; the flip produced the reference
+				// with only the differing bits flipped — identical integers,
+				// as in computeBatchStats.
+				av := groupFloat(g, p.tvals[l*64+int(s)])
+				abs := math.Abs(av - rv)
+				rel := abs / den
+				p.sumAbs[l] += abs
+				p.sumSq[l] += abs * abs
+				p.sumRel[l] += rel
+				if rel > p.wr[l] {
+					p.wr[l] = rel
+				}
+				if abs > p.wa[l] {
+					p.wa[l] = abs
+				}
+			}
+		}
+		// Store the locally-summed values and restore the all-zero invariant,
+		// keeping the float add order identical to the scalar decode.
+		for l := 0; l < L; l++ {
+			if p.laneGroup[l] == 0 {
+				continue
+			}
+			st := &p.stats[l]
+			st.sumAbs[gi] = p.sumAbs[l]
+			st.sumSq[gi] = p.sumSq[l]
+			st.sumRel[gi] = p.sumRel[l]
+			p.sumAbs[l], p.sumSq[l], p.sumRel[l] = 0, 0, 0
+		}
+	}
+}
+
+// transposeMasks[i] selects the columns whose bit (32 >> i) is clear — the
+// low-half columns of each 2j block at level j = 32 >> i.
+var transposeMasks = [6]uint64{
+	0x00000000FFFFFFFF,
+	0x0000FFFF0000FFFF,
+	0x00FF00FF00FF00FF,
+	0x0F0F0F0F0F0F0F0F,
+	0x3333333333333333,
+	0x5555555555555555,
+}
+
+// transpose64 transposes the 64x64 bit matrix a in place, with row r held in
+// a[r] and column c in bit c (LSB first): afterwards bit c of a[r] is the
+// previous bit r of a[c]. Standard recursive block swap, coarse to fine: at
+// level j, within every 2j x 2j block, the two off-diagonal j x j quadrants
+// exchange.
+func transpose64(a *[64]uint64) {
+	j := 32
+	for _, m := range &transposeMasks {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		j >>= 1
+	}
+}

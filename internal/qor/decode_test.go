@@ -1,0 +1,414 @@
+package qor_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/blasys-go/blasys/internal/bench"
+	"github.com/blasys-go/blasys/internal/logic"
+	"github.com/blasys-go/blasys/internal/partition"
+	"github.com/blasys-go/blasys/internal/qor"
+)
+
+// Differential coverage for the lane-shared metric decode (decode.go): the
+// lane-shared batch decode — under every transpose-threshold regime — must
+// report bit-identical QoR to the shared scalar decode, the scalar
+// incremental path, and the paper-literal rebuild, on circuits and output
+// interpretations the main kernel fuzz corpus is thin on: wide output groups
+// (the transpose path), signed / sign-adjusted groups, single-bit groups,
+// partial final-batch masks, and MaxLanes-width chunk tails.
+
+var laneDecodeSeeds = flag.Int("lanedecode.seeds", 4, "random circuits per lane-decode fuzz run")
+
+// transpose64Naive is the specification of the transpose: bit c of row r
+// moves to bit r of row c.
+func transpose64Naive(a [64]uint64) [64]uint64 {
+	var out [64]uint64
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			out[c] |= (a[r] >> uint(c) & 1) << uint(r)
+		}
+	}
+	return out
+}
+
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 64; trial++ {
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		if trial == 0 {
+			a = [64]uint64{} // all zero
+		}
+		if trial == 1 {
+			for i := range a {
+				a[i] = 1 << uint(i) // identity matrix
+			}
+		}
+		want := transpose64Naive(a)
+		got := a
+		qor.Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+		// An involution: transposing twice restores the input.
+		qor.Transpose64(&got)
+		if got != a {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}
+
+// groupedSpec partitions nOut outputs into consecutive groups of the given
+// widths and signedness. Widths must sum to at most nOut; leftover outputs
+// join no group (legal — groups need not cover every output).
+func groupedSpec(widths []int, signed []bool) qor.OutputSpec {
+	var spec qor.OutputSpec
+	next := 0
+	for i, w := range widths {
+		bits := make([]int, w)
+		for j := range bits {
+			bits[j] = next
+			next++
+		}
+		spec.Groups = append(spec.Groups, qor.Group{
+			Name:   fmt.Sprintf("g%d", i),
+			Bits:   bits,
+			Signed: signed[i],
+		})
+	}
+	return spec
+}
+
+// decodeHarness bundles the four evaluation paths for one circuit + spec.
+type decodeHarness struct {
+	t        *testing.T
+	prepared *logic.Circuit
+	spec     qor.OutputSpec
+	blocks   []partition.Block
+	ic       *qor.IncrementalComparer
+	eval     *qor.Evaluator
+	rng      *rand.Rand
+	comitted map[int]*logic.Circuit
+}
+
+func newDecodeHarness(t *testing.T, rng *rand.Rand, circ *logic.Circuit, spec qor.OutputSpec, samples int) *decodeHarness {
+	t.Helper()
+	prepared := logic.ReorderDFS(logic.Sweep(circ))
+	blocks, err := partition.Decompose(prepared, partition.Options{MaxInputs: 5, MaxOutputs: 3})
+	if err != nil || len(blocks) == 0 {
+		t.Skipf("decompose: %v (%d blocks)", err, len(blocks))
+	}
+	ic, err := qor.NewIncrementalComparer(prepared, spec, blocks, samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := qor.NewEvaluator(prepared, spec, samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &decodeHarness{
+		t: t, prepared: prepared, spec: spec, blocks: blocks,
+		ic: ic, eval: eval, rng: rng, comitted: map[int]*logic.Circuit{},
+	}
+}
+
+func (h *decodeHarness) literal(bi int, impl *logic.Circuit) qor.Report {
+	h.t.Helper()
+	merged := map[int]*logic.Circuit{bi: impl}
+	for cb, ci := range h.comitted {
+		if cb != bi {
+			merged[cb] = ci
+		}
+	}
+	circ, err := logic.ReplaceBlocks(h.prepared, partition.Substitutions(h.blocks, merged))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	rep, err := h.eval.Compare(circ)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return rep
+}
+
+// round evaluates one random same-block candidate chunk of width n at lane
+// width lanes through every decode regime and fails on any divergence.
+// literalLanes bounds how many lanes are checked against the expensive
+// paper-literal rebuild.
+func (h *decodeHarness) round(n, lanes, literalLanes int) {
+	h.t.Helper()
+	bi := h.rng.Intn(len(h.blocks))
+	b := &h.blocks[bi]
+	impls := make([]*logic.Circuit, n)
+	for i := range impls {
+		impls[i] = randImpl(h.rng, len(b.Inputs), len(b.Outputs))
+	}
+	h.ic.SetLanes(lanes)
+	run := func(label string, want []qor.Report) []qor.Report {
+		h.t.Helper()
+		got := make([]qor.Report, n)
+		if err := h.ic.CompareCandidates(bi, impls, got); err != nil {
+			h.t.Fatal(err)
+		}
+		if want != nil {
+			for i := range got {
+				if got[i] != want[i] {
+					h.t.Fatalf("block %d lane %d (%d lanes wide): %s decode diverged:\n got %+v\nwant %+v",
+						bi, i, lanes, label, got[i], want[i])
+				}
+			}
+		}
+		return got
+	}
+	// Baseline: the shared scalar decode, per dirty lane.
+	h.ic.SetLaneDecode(false)
+	base := run("scalar", nil)
+	// Lane-shared, in every transpose regime: default, forced-on (every
+	// group wide enough), forced-off (no group wide enough).
+	h.ic.SetLaneDecode(true)
+	h.ic.SetTransposeThreshold(0)
+	run("lane-shared (default threshold)", base)
+	h.ic.SetTransposeThreshold(1)
+	run("lane-shared (transpose always)", base)
+	h.ic.SetTransposeThreshold(1 << 20)
+	run("lane-shared (transpose never)", base)
+	h.ic.SetTransposeThreshold(0)
+	for i := 0; i < n; i++ {
+		scalar, err := h.ic.CompareCandidate(bi, impls[i])
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if scalar != base[i] {
+			h.t.Fatalf("block %d lane %d: scalar incremental %+v != batch %+v", bi, i, scalar, base[i])
+		}
+		if i < literalLanes {
+			if want := h.literal(bi, impls[i]); base[i] != want {
+				h.t.Fatalf("block %d lane %d: batch %+v != paper-literal %+v", bi, i, base[i], want)
+			}
+		}
+	}
+	if h.rng.Intn(2) == 0 {
+		pick := impls[h.rng.Intn(n)]
+		if _, err := h.ic.Commit(bi, pick); err != nil {
+			h.t.Fatal(err)
+		}
+		h.comitted[bi] = pick
+	}
+}
+
+// TestLaneDecodeFuzzDifferential is the lane-shared decode's own oracle, run
+// by the CI kernel job under -race: seeded random circuits with wide output
+// groups (spanning the transpose threshold) and random signedness, evaluated
+// through the lane-shared decode in all three transpose regimes against the
+// shared scalar decode, the scalar incremental path, and the paper-literal
+// rebuild.
+func TestLaneDecodeFuzzDifferential(t *testing.T) {
+	nSeeds := *laneDecodeSeeds
+	if testing.Short() {
+		nSeeds = 2
+	}
+	for seed := int64(1); seed <= int64(nSeeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed * 40503))
+			nOut := 18 + rng.Intn(22) // wide enough for a transpose-width group
+			bc := bench.RandomCircuit(rng, bench.RandomOptions{
+				Inputs:  6 + rng.Intn(4),
+				Gates:   60 + rng.Intn(120),
+				Outputs: nOut,
+			})
+			// One wide group plus a narrow remainder group, each randomly
+			// signed, so every chunk decodes both a many-bit and a few-bit
+			// group (the forced-transpose regime exercises the 64x64 gather
+			// on the wide one regardless of how dirty it runs).
+			wide := 15 + rng.Intn(nOut-15+1)
+			widths := []int{wide}
+			signs := []bool{rng.Intn(2) == 0}
+			if rest := nOut - wide; rest > 0 {
+				widths = append(widths, rest)
+				signs = append(signs, rng.Intn(2) == 0)
+			}
+			h := newDecodeHarness(t, rng, bc.Circ, groupedSpec(widths, signs), 1<<(7+rng.Intn(3)))
+			for round := 0; round < 6; round++ {
+				h.round(1+rng.Intn(10), 1+rng.Intn(10), 2)
+			}
+		})
+	}
+}
+
+// TestLaneDecodeEdgeCases pins the decode corners the fuzz corpus rarely
+// lands on by construction.
+func TestLaneDecodeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		inputs  int // exhaustive below 6 inputs => partial final-batch mask
+		outputs int
+		widths  []int
+		signed  []bool
+		samples int
+		rounds  func(h *decodeHarness)
+	}{
+		{
+			// Two's-complement groups: sign adjustment in groupFloat depends
+			// on the group's top bit, which flips often on narrow groups.
+			name: "signed-groups", inputs: 7, outputs: 12,
+			widths: []int{5, 7}, signed: []bool{true, true}, samples: 256,
+			rounds: func(h *decodeHarness) {
+				for i := 0; i < 4; i++ {
+					h.round(1+h.rng.Intn(8), 1+h.rng.Intn(8), 1)
+				}
+			},
+		},
+		{
+			// 2^5 = 32 exhaustive samples: a single batch whose valid-sample
+			// mask covers only the low half of every word.
+			name: "partial-final-mask", inputs: 5, outputs: 8,
+			widths: []int{8}, signed: []bool{false}, samples: 64,
+			rounds: func(h *decodeHarness) {
+				if h.eval.Samples() != 32 {
+					h.t.Fatalf("want 32 exhaustive samples, got %d", h.eval.Samples())
+				}
+				for i := 0; i < 4; i++ {
+					h.round(1+h.rng.Intn(8), 1+h.rng.Intn(8), 1)
+				}
+			},
+		},
+		{
+			// Chunk tails at the full lane-width bound: 2*MaxLanes+3
+			// candidates at MaxLanes lanes leaves a 3-wide tail chunk.
+			name: "maxlanes-tail", inputs: 7, outputs: 10,
+			widths: []int{10}, signed: []bool{false}, samples: 128,
+			rounds: func(h *decodeHarness) {
+				h.round(2*qor.MaxLanes+3, qor.MaxLanes, 1)
+				h.round(qor.MaxLanes-1, qor.MaxLanes, 1)
+			},
+		},
+		{
+			// Every group one bit wide: flips and transposes degenerate to
+			// single-bit moves, and the per-group scan sees many tiny groups.
+			name: "single-bit-groups", inputs: 7, outputs: 9,
+			widths:  []int{1, 1, 1, 1, 1, 1, 1, 1, 1},
+			signed:  []bool{false, true, false, true, false, true, false, true, false},
+			samples: 256,
+			rounds: func(h *decodeHarness) {
+				for i := 0; i < 4; i++ {
+					h.round(1+h.rng.Intn(8), 1+h.rng.Intn(8), 1)
+				}
+			},
+		},
+		{
+			// Lanes straddling the transpose threshold both sides within one
+			// decode: with the per-lane dirty-bit threshold pinned at 15,
+			// heavily-dirty lanes transpose while lightly-dirty lanes flip —
+			// the 14-bit signed group also caps a lane's dirt low enough that
+			// both strategies appear in the same batch.
+			name: "threshold-straddle", inputs: 8, outputs: 30,
+			widths: []int{16, 14}, signed: []bool{false, true}, samples: 256,
+			rounds: func(h *decodeHarness) {
+				h.ic.SetTransposeThreshold(15)
+				if h.ic.TransposeThreshold() != 15 {
+					h.t.Fatal("threshold not applied")
+				}
+				bi := h.rng.Intn(len(h.blocks))
+				b := &h.blocks[bi]
+				impls := make([]*logic.Circuit, 6)
+				for i := range impls {
+					impls[i] = randImpl(h.rng, len(b.Inputs), len(b.Outputs))
+				}
+				h.ic.SetLanes(6)
+				mixed := make([]qor.Report, len(impls))
+				if err := h.ic.CompareCandidates(bi, impls, mixed); err != nil {
+					h.t.Fatal(err)
+				}
+				h.ic.SetLaneDecode(false)
+				scalar := make([]qor.Report, len(impls))
+				if err := h.ic.CompareCandidates(bi, impls, scalar); err != nil {
+					h.t.Fatal(err)
+				}
+				h.ic.SetLaneDecode(true)
+				for i := range mixed {
+					if mixed[i] != scalar[i] {
+						h.t.Fatalf("lane %d: straddled decode %+v != scalar %+v", i, mixed[i], scalar[i])
+					}
+				}
+				h.ic.SetTransposeThreshold(0)
+				h.round(6, 6, 1)
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(77))
+			bc := bench.RandomCircuit(rng, bench.RandomOptions{
+				Inputs: tc.inputs, Gates: 80, Outputs: tc.outputs,
+			})
+			h := newDecodeHarness(t, rng, bc.Circ, groupedSpec(tc.widths, tc.signed), tc.samples)
+			tc.rounds(h)
+		})
+	}
+}
+
+// BenchmarkLaneDecode measures batched evaluation throughput as a function of
+// output-group width under each transpose regime — the measurement behind
+// DefaultTransposeBits. Run with
+//
+//	go test ./internal/qor/ -run '^$' -bench LaneDecode -benchtime 20x
+//
+// and compare the transpose=always and transpose=never legs per width; the
+// crossover is where always first wins.
+func BenchmarkLaneDecode(b *testing.B) {
+	for _, width := range []int{8, 12, 16, 20, 24, 32} {
+		rng := rand.New(rand.NewSource(int64(width)))
+		bc := bench.RandomCircuit(rng, bench.RandomOptions{
+			Inputs: 10, Gates: 200, Outputs: width,
+		})
+		prepared := logic.ReorderDFS(logic.Sweep(bc.Circ))
+		spec := qor.Unsigned("z", len(prepared.Outputs))
+		blocks, err := partition.Decompose(prepared, partition.Options{MaxInputs: 5, MaxOutputs: 3})
+		if err != nil || len(blocks) == 0 {
+			b.Fatalf("decompose: %v", err)
+		}
+		ic, err := qor.NewIncrementalComparer(prepared, spec, blocks, 1<<14, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi := 0
+		for cand := range blocks {
+			if len(blocks[cand].Inputs) > len(blocks[bi].Inputs) {
+				bi = cand
+			}
+		}
+		impls := make([]*logic.Circuit, 8)
+		for i := range impls {
+			impls[i] = randImpl(rng, len(blocks[bi].Inputs), len(blocks[bi].Outputs))
+		}
+		reps := make([]qor.Report, len(impls))
+		for _, regime := range []struct {
+			name      string
+			lane      bool
+			threshold int
+		}{{"scalar", false, 0}, {"flip", true, 1 << 20}, {"transpose", true, 1}, {"auto", true, 0}} {
+			b.Run(fmt.Sprintf("w%d/%s", width, regime.name), func(b *testing.B) {
+				ic.SetLaneDecode(regime.lane)
+				ic.SetTransposeThreshold(regime.threshold)
+				ic.SetLanes(8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := ic.CompareCandidates(bi, impls, reps); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ic.SetLaneDecode(true)
+				ic.SetTransposeThreshold(0)
+			})
+		}
+	}
+}

@@ -60,6 +60,13 @@ type IncrementalComparer struct {
 
 	// lanes is the batch lane width used by CompareCandidates (SetLanes).
 	lanes int
+	// laneDecode selects the lane-shared metric decode for batch passes
+	// (SetLaneDecode); the scalar per-lane decode otherwise.
+	laneDecode bool
+	// transposeBits is the group width at or above which the lane-shared
+	// decode gathers candidate values by bit-matrix transpose
+	// (SetTransposeThreshold).
+	transposeBits int
 
 	scratchPool sync.Pool
 	batchPool   sync.Pool
@@ -88,11 +95,13 @@ func NewIncrementalComparer(ref *logic.Circuit, spec OutputSpec, blocks []partit
 	}
 
 	ic := &IncrementalComparer{
-		eval:   eval,
-		blocks: blocks,
-		impls:  make([]*logic.Circuit, len(blocks)),
-		stats:  make([]batchStats, eval.nBatches),
-		lanes:  DefaultLanes,
+		eval:          eval,
+		blocks:        blocks,
+		impls:         make([]*logic.Circuit, len(blocks)),
+		stats:         make([]batchStats, eval.nBatches),
+		lanes:         DefaultLanes,
+		laneDecode:    true,
+		transposeBits: DefaultTransposeBits,
 	}
 	// Cache the accurate circuit's full node-word state per batch.
 	sim := logic.NewSimulator(ref)
@@ -581,6 +590,7 @@ func (ic *IncrementalComparer) compareWith(sc *icScratch, bi int, impl *logic.Ci
 	sc.acc.reset(&e.spec)
 	out := sc.out[:len(e.ref.Outputs)]
 	cleanBatches := 0
+	var decodeSec float64
 	for b := 0; b < e.nBatches; b++ {
 		base := ic.base[b]
 		if sc.runBatch(base) {
@@ -590,18 +600,21 @@ func (ic *IncrementalComparer) compareWith(sc *icScratch, bi int, impl *logic.Ci
 			cleanBatches++
 			continue
 		}
-		w := sc.slots
-		for i, src := range sc.outSrc {
-			out[i] = w[src]
-		}
 		mask := ^uint64(0)
 		if b == e.nBatches-1 {
 			mask = e.lastMask
 		}
+		dstart := time.Now()
+		w := sc.slots
+		for i, src := range sc.outSrc {
+			out[i] = w[src]
+		}
 		sc.acc.addBatchRef(out, e.refOut[b], mask, e.refLanes, b)
+		decodeSec += time.Since(dstart).Seconds()
 	}
 	rep := sc.acc.report(e.samples, e.exhaustive)
 	mSimSeconds.Add(time.Since(compiled).Seconds())
+	mDecodeSeconds.Add(decodeSec)
 	mEvalBatchKind.With("clean").Add(float64(cleanBatches))
 	mEvalBatchKind.With("cone").Add(float64(e.nBatches - cleanBatches))
 	mEvalBatches.Observe(float64(e.nBatches))

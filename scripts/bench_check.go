@@ -22,7 +22,11 @@
 // metric carries that unit at all (a vanished benchmark must not pass). This
 // is how per-op allocation budgets on the fused batch path are enforced —
 // allocation counts are machine-independent, so a hard ceiling is reliable
-// where absolute throughput is not.
+// where absolute throughput is not. The same mechanism bounds the decode
+// fraction ('batch-decode-fraction=0.90'): a dimensionless within-run ratio
+// (decode seconds / simulate seconds, see internal/qor/metrics.go), so a
+// decode-path regression fails the gate even on a runner whose absolute
+// throughput differs wildly from the baseline machine's.
 //
 // Usage:
 //
